@@ -1,0 +1,84 @@
+// Command flextm runs a single experiment: one workload on one TM system at
+// one thread count, printing throughput, abort rates, conflict degrees, and
+// machine counters.
+//
+//	flextm -workload RBTree -system 'FlexTM(Lazy)' -threads 8 -ops 500
+//	flextm -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flextm/internal/harness"
+	"flextm/internal/tmesi"
+	"flextm/internal/trace"
+	"flextm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "RBTree", "workload name (see -list)")
+	system := flag.String("system", "FlexTM(Lazy)", "TM system: CGL, FlexTM(Eager), FlexTM(Lazy), RTM-F, RSTM, TL2")
+	threads := flag.Int("threads", 8, "number of threads (<= cores)")
+	ops := flag.Int("ops", harness.DefaultOps, "operations per thread")
+	cores := flag.Int("cores", 16, "cores in the simulated CMP")
+	verify := flag.Bool("verify", true, "check structural invariants after the run")
+	traceStats := flag.Bool("tracestats", false, "print a transaction-level trace summary (FlexTM systems)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, f := range workloads.All() {
+			fmt.Println(f.Name)
+		}
+		return
+	}
+
+	f, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "flextm: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+	machine := tmesi.DefaultConfig()
+	machine.Cores = *cores
+
+	var rec *trace.Recorder
+	if *traceStats {
+		rec = trace.NewRecorder()
+	}
+	res, err := harness.Run(harness.RunConfig{
+		System:       harness.SystemName(*system),
+		Workload:     f,
+		Threads:      *threads,
+		OpsPerThread: *ops,
+		Machine:      machine,
+		Verify:       *verify,
+		Tracer:       rec,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload    %s\nsystem      %s\nthreads     %d\n", res.Workload, res.System, res.Threads)
+	fmt.Printf("commits     %d\naborts      %d (%.2f per commit)\n",
+		res.Commits, res.Aborts, float64(res.Aborts)/float64(max(res.Commits, 1)))
+	fmt.Printf("cycles      %d\nthroughput  %.2f txn/Mcycle\n", res.Cycles, res.Throughput)
+	fmt.Printf("conflicts   median %d, max %d (per committed txn)\n", res.MedianConflicts, res.MaxConflicts)
+	if rec != nil {
+		fmt.Println("-- trace summary --")
+		rec.Summarize().Print(os.Stdout)
+	}
+	m := res.Machine
+	fmt.Printf("machine     L1 %.1f%% hit, %d L2 misses, %d threatened, %d exposed-read, %d overflows, %d alerts\n",
+		100*float64(m.L1Hits)/float64(max(m.L1Hits+m.L1Misses, 1)),
+		m.L2Misses, m.ThreatenedResponses, m.ExposedReadResponses, m.Overflows, m.Alerts)
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,220 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (Sections 6-8):
+//
+//	paperbench -fig 4         Figure 4  (throughput/scalability, 7 workloads)
+//	paperbench -fig 5         Figure 5a-d (eager vs lazy)
+//	paperbench -fig 5mp       Figure 5e,f (multiprogramming with Prime)
+//	paperbench -fig overflow  Section 7.3 overflow/victim-buffer ablation
+//	paperbench -table 2       Table 2 (area estimation)
+//	paperbench -table 4       Table 4b (FlexWatcher slowdowns)
+//	paperbench -all           everything
+//
+// -quick shrinks the sweep for a fast smoke run; -ops and -threads tune the
+// full one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flextm/internal/area"
+	"flextm/internal/flexwatcher"
+	"flextm/internal/harness"
+	"flextm/internal/tmesi"
+	"flextm/internal/workloads"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm")
+	table := flag.String("table", "", "table to regenerate: 2, 4")
+	all := flag.Bool("all", false, "regenerate everything")
+	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
+	ops := flag.Int("ops", harness.DefaultOps, "operations per thread per data point")
+	threadList := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+	flag.Parse()
+
+	sc := harness.SweepConfig{
+		Machine: tmesi.DefaultConfig(),
+		Ops:     *ops,
+		Verify:  true,
+	}
+	for _, part := range strings.Split(*threadList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad -threads: %w", err))
+		}
+		sc.Threads = append(sc.Threads, n)
+	}
+	if *quick {
+		sc.Threads = []int{1, 4, 16}
+		sc.Ops = 80
+	}
+
+	ran := false
+	if *all || *fig == "4" {
+		ran = true
+		figure4(sc)
+	}
+	if *all || *fig == "5" {
+		ran = true
+		figure5(sc)
+	}
+	if *all || *fig == "5mp" {
+		ran = true
+		figure5mp(sc)
+	}
+	if *all || *fig == "overflow" {
+		ran = true
+		overflow(sc)
+	}
+	if *all || *fig == "sig" {
+		ran = true
+		sigAblation(sc)
+	}
+	if *all || *fig == "cm" {
+		ran = true
+		cmAblation(sc)
+	}
+	if *all || *fig == "logtm" {
+		ran = true
+		logtmComparison(sc)
+	}
+	if *all || *table == "2" {
+		ran = true
+		fmt.Println("== Table 2: area estimation (65nm) ==")
+		fmt.Println(area.Table())
+	}
+	if *all || *table == "4" {
+		ran = true
+		table4(sc)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paperbench:", err)
+	os.Exit(1)
+}
+
+func figure4(sc harness.SweepConfig) {
+	plots, err := harness.Figure4(sc)
+	if err != nil {
+		fatal(err)
+	}
+	harness.PrintPlots(os.Stdout, "Figure 4: throughput normalized to 1-thread CGL", plots, sc.Threads)
+	fmt.Println()
+}
+
+func figure5(sc harness.SweepConfig) {
+	plots, err := harness.Figure5(sc)
+	if err != nil {
+		fatal(err)
+	}
+	harness.PrintPlots(os.Stdout, "Figure 5a-d: eager vs lazy, normalized to 1-thread FlexTM(Eager)", plots, sc.Threads)
+	fmt.Println()
+}
+
+func figure5mp(sc harness.SweepConfig) {
+	fmt.Println("== Figure 5e,f: multiprogramming with Prime (normalized to isolated 1-thread runs) ==")
+	appThreads := []int{2, 4, 8, 12}
+	for _, name := range []string{"RandomGraph", "LFUCache"} {
+		f, _ := workloads.ByName(name)
+		pts, err := harness.Multiprogram(sc, f, appThreads)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[Prime + %s]\n%-16s %10s %10s %10s\n", name, "mode", "appThreads", "appNorm", "primeNorm")
+		for _, p := range pts {
+			fmt.Printf("%-16s %10d %10.2f %10.2f\n", p.Mode, p.AppThreads, p.AppNorm, p.PrimeNorm)
+		}
+	}
+	fmt.Println()
+}
+
+func overflow(sc harness.SweepConfig) {
+	fmt.Println("== Section 7.3: overflow (OT) cost vs unbounded victim buffer ==")
+	res, err := harness.OverflowAblation(sc, []string{"RandomGraph", "RBTree", "HashTable"}, 8)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-14s %10s %10s\n", "workload", "overflows", "slowdown")
+	for _, r := range res {
+		fmt.Printf("%-14s %10d %9.2f%%\n", r.Workload, r.Overflows, (r.Slowdown-1)*100)
+	}
+	fmt.Println()
+}
+
+func sigAblation(sc harness.SweepConfig) {
+	fmt.Println("== Ablation: signature width (FlexTM(Lazy), Vacation-Low, 8 threads) ==")
+	res, err := harness.SignatureAblation(sc, "Vacation-Low", 8, []int{256, 512, 1024, 2048, 4096})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s\n", "bits", "txn/Mcycle", "aborts/commit")
+	for _, r := range res {
+		fmt.Printf("%-8d %14.1f %14.2f\n", r.Bits, r.Throughput, r.AbortRate)
+	}
+	fmt.Println()
+}
+
+func cmAblation(sc harness.SweepConfig) {
+	fmt.Println("== Ablation: contention managers (RandomGraph, 8 threads) ==")
+	res, err := harness.ManagerAblation(sc, "RandomGraph", 8)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-8s %-12s %14s %14s\n", "mode", "manager", "txn/Mcycle", "aborts/commit")
+	for _, r := range res {
+		fmt.Printf("%-8s %-12s %14.1f %14.2f\n", r.Mode, r.Manager, r.Throughput, r.AbortRate)
+	}
+	fmt.Println()
+}
+
+func logtmComparison(sc harness.SweepConfig) {
+	fmt.Println("== Extension: FlexTM vs alternative HTM designs (normalized to 1-thread CGL) ==")
+	for _, name := range []string{"RBTree", "RandomGraph", "HashTable"} {
+		f, _ := workloads.ByName(name)
+		base, err := harness.Baseline(f, sc.Machine, sc.Ops)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n[%s]\n%-16s", name, "system")
+		for _, th := range sc.Threads {
+			fmt.Printf("%8d", th)
+		}
+		fmt.Println()
+		for _, sys := range []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy, harness.LogTM, harness.Bulk} {
+			fmt.Printf("%-16s", sys)
+			for _, th := range sc.Threads {
+				res, err := harness.Run(harness.RunConfig{
+					System: sys, Workload: f, Threads: th,
+					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%8.2f", res.Throughput/base)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func table4(sc harness.SweepConfig) {
+	fmt.Println("== Table 4b: FlexWatcher vs Discover slowdowns ==")
+	cfg := sc.Machine
+	cfg.Cores = 2
+	rows, err := flexwatcher.Table4(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(flexwatcher.PrintTable4(rows))
+	fmt.Println()
+}

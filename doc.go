@@ -1,0 +1,19 @@
+// Package flextm is a Go reproduction of "Flexible Decoupled Transactional
+// Memory Support" (Shriraman, Dwarkadas & Scott, ISCA 2008; UR TR #925).
+//
+// The repository contains a deterministic simulator of the paper's 16-core
+// CMP with the TMESI coherence protocol (internal/tmesi), FlexTM's
+// decoupled hardware primitives — access signatures, conflict summary
+// tables, alert-on-update, programmable data isolation, overflow tables —
+// the FlexTM software runtime with eager and lazy conflict management
+// (internal/core), the baseline TM systems of the paper's evaluation
+// (internal/baselines: CGL, RSTM, TL2, RTM-F), the seven benchmarks of
+// Table 3(b) (internal/workloads), OS virtualization of transactions
+// across context switches (internal/osmodel), the FlexWatcher memory
+// debugger (internal/flexwatcher), and an area model for Table 2
+// (internal/area).
+//
+// The benchmarks in bench_test.go and the cmd/paperbench tool regenerate
+// every table and figure of the paper's evaluation; see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package flextm

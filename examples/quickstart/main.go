@@ -1,0 +1,51 @@
+// Quickstart: build a 16-core FlexTM machine, run a handful of threads that
+// transactionally increment a shared counter, and print what the hardware
+// saw. This is the smallest end-to-end use of the public API:
+//
+//	machine  := tmesi.New(tmesi.DefaultConfig())
+//	runtime  := core.New(machine, core.Lazy, cm.NewPolka())
+//	engine   := sim.NewEngine()
+//	thread   := runtime.Bind(ctx, coreID)
+//	thread.Atomic(func(tx tmapi.Txn) { ... tx.Load / tx.Store ... })
+package main
+
+import (
+	"fmt"
+
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+func main() {
+	sys := tmesi.New(tmesi.DefaultConfig())
+	rt := core.New(sys, core.Lazy, cm.NewPolka())
+
+	counter := sys.Alloc().Alloc(1)
+
+	const threads, increments = 8, 1000
+	engine := sim.NewEngine()
+	for i := 0; i < threads; i++ {
+		coreID := i
+		engine.Spawn(fmt.Sprintf("worker-%d", i), 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, coreID)
+			for n := 0; n < increments; n++ {
+				th.Atomic(func(tx tmapi.Txn) {
+					tx.Store(counter, tx.Load(counter)+1)
+				})
+			}
+		})
+	}
+	engine.Run()
+
+	stats := rt.Stats()
+	fmt.Printf("final counter : %d (expected %d)\n", sys.ReadWordRaw(counter), threads*increments)
+	fmt.Printf("commits       : %d\n", stats.Commits)
+	fmt.Printf("aborts        : %d (%.2f per commit)\n", stats.Aborts, stats.AbortRate())
+	fmt.Printf("makespan      : %d cycles\n", engine.MaxTime())
+	m := sys.Stats()
+	fmt.Printf("hardware      : %d threatened responses, %d flash commits, %d flash aborts\n",
+		m.ThreatenedResponses, m.FlashCommits, m.FlashAborts)
+}

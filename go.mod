@@ -1,0 +1,3 @@
+module flextm
+
+go 1.22

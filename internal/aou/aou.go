@@ -1,0 +1,59 @@
+// Package aou holds the alert-on-update bookkeeping for one core
+// (Section 3.4 of the paper): which lines carry the 'A' mark and which
+// alerts are pending delivery. The cache itself stores the per-line A bit
+// (see internal/cache); this unit tracks the count of marked lines and the
+// queue of fired alerts, which the runtime drains at instruction
+// boundaries — the paper's trap interface between the load-store unit and
+// the trap-logic unit.
+//
+// Alerts queue (deduplicated per line) rather than overwrite: hardware
+// delivers one trap per invalidation, and a runtime that watches several
+// lines (RTM-F header watching, FlexWatcher) must not lose any.
+package aou
+
+import "flextm/internal/memory"
+
+// Unit is the per-core alert state. The zero value is ready to use.
+type Unit struct {
+	queue []memory.LineAddr
+	marks int
+}
+
+// Enqueue records a fired alert for line, deduplicating repeats that have
+// not yet been delivered.
+func (u *Unit) Enqueue(line memory.LineAddr) {
+	for _, l := range u.queue {
+		if l == line {
+			return
+		}
+	}
+	u.queue = append(u.queue, line)
+}
+
+// Take delivers the oldest pending alert.
+func (u *Unit) Take() (memory.LineAddr, bool) {
+	if len(u.queue) == 0 {
+		return 0, false
+	}
+	line := u.queue[0]
+	u.queue = u.queue[1:]
+	return line, true
+}
+
+// Pending reports whether any alert awaits delivery.
+func (u *Unit) Pending() bool { return len(u.queue) > 0 }
+
+// MarkAdded notes that a line gained the A bit.
+func (u *Unit) MarkAdded() { u.marks++ }
+
+// MarkRemoved notes that a line lost the A bit (invalidation or AClear).
+func (u *Unit) MarkRemoved() { u.marks-- }
+
+// Marks returns the number of lines currently carrying the A bit.
+func (u *Unit) Marks() int { return u.marks }
+
+// Reset clears all pending alerts and the mark count (transaction end).
+func (u *Unit) Reset() {
+	u.queue = u.queue[:0]
+	u.marks = 0
+}

@@ -1,0 +1,49 @@
+package aou
+
+import "testing"
+
+func TestQueueOrderAndDedup(t *testing.T) {
+	var u Unit
+	u.Enqueue(1)
+	u.Enqueue(2)
+	u.Enqueue(1) // dup: dropped
+	if l, ok := u.Take(); !ok || l != 1 {
+		t.Fatalf("first = %v,%v", l, ok)
+	}
+	if l, ok := u.Take(); !ok || l != 2 {
+		t.Fatalf("second = %v,%v", l, ok)
+	}
+	if _, ok := u.Take(); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestDedupOnlyWhileUndelivered(t *testing.T) {
+	var u Unit
+	u.Enqueue(7)
+	u.Take()
+	u.Enqueue(7) // same line again after delivery: a new alert
+	if !u.Pending() {
+		t.Fatal("redelivery after Take must be possible")
+	}
+}
+
+func TestMarkCounting(t *testing.T) {
+	var u Unit
+	u.MarkAdded()
+	u.MarkAdded()
+	u.MarkRemoved()
+	if u.Marks() != 1 {
+		t.Fatalf("Marks = %d, want 1", u.Marks())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var u Unit
+	u.Enqueue(3)
+	u.MarkAdded()
+	u.Reset()
+	if u.Pending() || u.Marks() != 0 {
+		t.Fatal("Reset left state")
+	}
+}

@@ -1,0 +1,135 @@
+// Package area reproduces the complexity analysis of Section 6 (Table 2):
+// analytical 65 nm area estimates of FlexTM's per-core additions —
+// read/write signatures, conflict summary tables, the overflow-table
+// controller, and the extra cache state bits — for three contemporary
+// processors (Merom, Power6, Niagara-2).
+//
+// The paper derives processor component sizes from published die photos and
+// FlexTM component sizes from CACTI 6. Here the published sizes are inputs
+// (as in the paper) and the CACTI estimates are replaced by a calibrated
+// SRAM-array model: a 2048-bit 4-banked dual-ported signature costs
+// SigPairArea per hardware context, and the OT controller is dominated by
+// its line-sized writeback/miss buffers at OTByteArea per byte.
+package area
+
+import "fmt"
+
+// Model constants, calibrated at 65 nm to CACTI 6's output for the paper's
+// structures (a 2x2048-bit banked signature = 0.033 mm^2; a 16-entry
+// line-width buffer pair = 0.16 mm^2 on a 64 B-line machine).
+const (
+	// SigPairBitArea is mm^2 per signature bit (Rsig+Wsig pair, banked,
+	// separate read/write ports).
+	SigPairBitArea = 0.033 / 4096
+	// OTByteArea is mm^2 per buffer byte of the overflow-table controller
+	// (8 writeback + 8 miss entries plus MSHR/FSM overhead).
+	OTByteArea = 0.16 / 1024
+	// TagBits approximates the L1 tag+state overhead per line used when
+	// converting extra state bits into an L1 area percentage.
+	TagBits = 40
+)
+
+// Processor describes the published parameters of a target core
+// (Table 2's "Actual Die" section).
+type Processor struct {
+	Name      string
+	SMT       int // hardware contexts per core
+	DieMM2    float64
+	CoreMM2   float64
+	L1DMM2    float64
+	LineBytes int
+	L2MM2     float64
+}
+
+// Merom, Power6, and Niagara2 return the paper's three case studies.
+func Merom() Processor {
+	return Processor{Name: "Merom", SMT: 1, DieMM2: 143, CoreMM2: 31.5, L1DMM2: 1.8, LineBytes: 64, L2MM2: 49.6}
+}
+
+// Power6 returns the Power6 parameters from Table 2.
+func Power6() Processor {
+	return Processor{Name: "Power6", SMT: 2, DieMM2: 340, CoreMM2: 53, L1DMM2: 2.6, LineBytes: 128, L2MM2: 126}
+}
+
+// Niagara2 returns the Niagara-2 parameters from Table 2.
+func Niagara2() Processor {
+	return Processor{Name: "Niagara-2", SMT: 8, DieMM2: 342, CoreMM2: 11.7, L1DMM2: 0.4, LineBytes: 16, L2MM2: 92}
+}
+
+// All returns the three processors in the paper's column order.
+func All() []Processor { return []Processor{Merom(), Power6(), Niagara2()} }
+
+// Estimate is the FlexTM add-on budget for one processor (Table 2's
+// "CACTI Prediction" section).
+type Estimate struct {
+	Processor Processor
+
+	SignatureMM2 float64 // Rsig+Wsig per context, all contexts
+	CSTRegisters int     // full-map registers (3 per context)
+	OTCtrlMM2    float64
+	// StateBits is the per-line state overhead: T and A bits, plus owner
+	// ID bits for SMT cores (log2 contexts).
+	StateBits int
+
+	CorePct float64 // % core area increase
+	L1Pct   float64 // % L1 D-cache area increase
+}
+
+// SignatureBits is the evaluated signature width (Section 7.1).
+const SignatureBits = 2048
+
+// idBits returns the owner-ID bits required to tag a TMI line's hardware
+// context.
+func idBits(smt int) int {
+	b := 0
+	for 1<<uint(b) < smt {
+		b++
+	}
+	return b
+}
+
+// ForProcessor computes the FlexTM add-on estimate.
+func ForProcessor(p Processor) Estimate {
+	e := Estimate{Processor: p}
+	e.SignatureMM2 = float64(p.SMT) * 2 * SignatureBits * SigPairBitArea
+	e.CSTRegisters = 3 * p.SMT
+	// Buffer entries are sized by the L1 line: 8 writebacks + 8 misses.
+	e.OTCtrlMM2 = float64(16*p.LineBytes) * OTByteArea
+	e.StateBits = 2 + idBits(p.SMT) // T + A (+ ID on SMT)
+
+	addOn := e.SignatureMM2 + e.OTCtrlMM2
+	e.CorePct = addOn / p.CoreMM2 * 100
+	lineBits := float64(p.LineBytes*8 + TagBits)
+	e.L1Pct = float64(e.StateBits) / lineBits * 100
+	return e
+}
+
+// Table renders the Table 2 reproduction as text.
+func Table() string {
+	s := fmt.Sprintf("%-22s", "Processor")
+	ests := make([]Estimate, 0, 3)
+	for _, p := range All() {
+		ests = append(ests, ForProcessor(p))
+		s += fmt.Sprintf("%12s", p.Name)
+	}
+	s += "\n"
+	row := func(label string, f func(Estimate) string) {
+		s += fmt.Sprintf("%-22s", label)
+		for _, e := range ests {
+			s += fmt.Sprintf("%12s", f(e))
+		}
+		s += "\n"
+	}
+	row("SMT (threads)", func(e Estimate) string { return fmt.Sprintf("%d", e.Processor.SMT) })
+	row("Die (mm2)", func(e Estimate) string { return fmt.Sprintf("%.0f", e.Processor.DieMM2) })
+	row("Core (mm2)", func(e Estimate) string { return fmt.Sprintf("%.1f", e.Processor.CoreMM2) })
+	row("L1 D (mm2)", func(e Estimate) string { return fmt.Sprintf("%.1f", e.Processor.L1DMM2) })
+	row("line size (bytes)", func(e Estimate) string { return fmt.Sprintf("%d", e.Processor.LineBytes) })
+	row("Signature (mm2)", func(e Estimate) string { return fmt.Sprintf("%.3f", e.SignatureMM2) })
+	row("CSTs (registers)", func(e Estimate) string { return fmt.Sprintf("%d", e.CSTRegisters) })
+	row("OT controller (mm2)", func(e Estimate) string { return fmt.Sprintf("%.3f", e.OTCtrlMM2) })
+	row("Extra state bits", func(e Estimate) string { return fmt.Sprintf("%d", e.StateBits) })
+	row("% Core increase", func(e Estimate) string { return fmt.Sprintf("%.2f%%", e.CorePct) })
+	row("% L1 D$ increase", func(e Estimate) string { return fmt.Sprintf("%.2f%%", e.L1Pct) })
+	return s
+}

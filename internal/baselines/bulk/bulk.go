@@ -1,0 +1,258 @@
+// Package bulk implements a Bulk/TCC-flavored lazy HTM baseline (Ceze et
+// al., ISCA 2006; Hammond et al., ISCA 2004): lazy versioning in the cache
+// (it reuses the PDI states), with conflicts detected only at commit by
+// broadcasting the committer's write signature to every other processor,
+// and commits serialized by a global token.
+//
+// This is the design point the paper positions FlexTM against: "FlexTM
+// enables lazy conflict management without commit tokens [14], broadcast of
+// write sets [6,14], or ticket-based serialization [7]". The token makes
+// commit a global bottleneck and the signature comparison aborts on false
+// positives; FlexTM's CSTs avoid both.
+package bulk
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// Status-word values.
+const (
+	stActive    = 1
+	stCommitted = 2
+	stAborted   = 3
+)
+
+const statusSlots = 64
+
+// Runtime is a Bulk-style instance.
+type Runtime struct {
+	sys     *tmesi.System
+	token   memory.Addr // global commit token
+	status  []memory.Addr
+	arenas  [][]memory.Addr
+	arenaIx []int
+	stats   []tmapi.Stats
+}
+
+// New returns a Bulk-style runtime over sys.
+func New(sys *tmesi.System) *Runtime {
+	cores := sys.Config().Cores
+	rt := &Runtime{
+		sys:     sys,
+		token:   sys.Alloc().Alloc(memory.LineWords),
+		status:  make([]memory.Addr, cores),
+		arenas:  make([][]memory.Addr, cores),
+		arenaIx: make([]int, cores),
+		stats:   make([]tmapi.Stats, cores),
+	}
+	for c := 0; c < cores; c++ {
+		slots := make([]memory.Addr, statusSlots)
+		for i := range slots {
+			slots[i] = sys.Alloc().Alloc(memory.LineWords)
+		}
+		rt.arenas[c] = slots
+	}
+	return rt
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string { return "Bulk" }
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+	}
+	return total
+}
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return &thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0xB01C),
+	}
+}
+
+type thread struct {
+	rt     *Runtime
+	ctx    *sim.Ctx
+	core   int
+	rnd    *sim.Rand
+	depth  int
+	status memory.Addr
+	aborts int
+}
+
+func (th *thread) Core() int       { return th.core }
+func (th *thread) Ctx() *sim.Ctx   { return th.ctx }
+func (th *thread) Rand() *sim.Rand { return th.rnd }
+func (th *thread) Work(d sim.Time) { th.ctx.Advance(d) }
+func (th *thread) Load(a memory.Addr) uint64 {
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+func (th *thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+}
+
+// Atomic implements tmapi.Thread.
+func (th *thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txn{th})
+		return
+	}
+	for {
+		if th.attempt(body) {
+			th.rt.stats[th.core].Commits++
+			th.aborts = 0
+			return
+		}
+		th.rt.stats[th.core].Aborts++
+		th.aborts++
+		shift := th.aborts
+		if shift > 8 {
+			shift = 8
+		}
+		th.ctx.Advance(sim.Time(th.rnd.Intn(64<<uint(shift) + 1)))
+	}
+}
+
+func (th *thread) attempt(body func(tmapi.Txn)) (ok bool) {
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		if r := recover(); r != nil {
+			if _, isAbort := r.(tmapi.AbortError); !isAbort {
+				panic(r)
+			}
+			th.onAbort()
+		}
+	}()
+	th.begin()
+	body(txn{th})
+	th.commit()
+	return true
+}
+
+func abort() { panic(tmapi.AbortError{}) }
+
+func (th *thread) begin() {
+	rt, sys := th.rt, th.rt.sys
+	i := rt.arenaIx[th.core]
+	rt.arenaIx[th.core] = (i + 1) % statusSlots
+	th.status = rt.arenas[th.core][i]
+	sys.Store(th.ctx, th.core, th.status, stActive)
+	rt.status[th.core] = th.status
+	sys.ALoad(th.ctx, th.core, th.status)
+	sys.BeginTxn(th.core)
+	th.ctx.Advance(30)
+	th.checkAlert()
+}
+
+func (th *thread) onAbort() {
+	sys := th.rt.sys
+	if sys.TxnActive(th.core) {
+		sys.AbortFlash(th.ctx, th.core)
+	}
+	th.ctx.Advance(20)
+}
+
+// checkAlert: a committer's broadcast aborted us.
+func (th *thread) checkAlert() {
+	sys := th.rt.sys
+	if _, ok := sys.TakeAlert(th.core); !ok {
+		return
+	}
+	if sys.ReadWordRaw(th.status) == stAborted {
+		abort()
+	}
+	sys.ALoad(th.ctx, th.core, th.status)
+}
+
+// commit acquires the global token, broadcasts the write signature, aborts
+// every transaction whose signatures intersect it, flash-commits, and
+// releases the token. Commits are fully serialized — the cost FlexTM's
+// CSTs eliminate.
+func (th *thread) commit() {
+	rt, sys := th.rt, th.rt.sys
+	cores := sys.Config().Cores
+
+	// Acquire the commit token.
+	for spin := 0; ; spin++ {
+		th.checkAlert() // we may be aborted while waiting for the token
+		if sys.Load(th.ctx, th.core, rt.token).Val == 0 {
+			if _, ok := sys.CAS(th.ctx, th.core, rt.token, 0, uint64(th.core)+1); ok {
+				break
+			}
+		}
+		th.ctx.Advance(sim.Time(16 + th.rnd.Intn(64)))
+	}
+	// Last chance before becoming the committer; from here on the token is
+	// held, so an abort must release it before unwinding.
+	sys.TakeAlert(th.core)
+	if sys.ReadWordRaw(th.status) == stAborted {
+		sys.Store(th.ctx, th.core, rt.token, 0)
+		abort()
+	}
+
+	// Broadcast: one message round carrying Wsig; every other processor
+	// compares against its own signatures and self-aborts on intersection
+	// (false positives included, as in Bulk).
+	wsig := sys.Wsig(th.core).Clone() // survives the commit's flash clear
+	broadcast := func() {
+		th.ctx.Advance(sim.Time(10 + 2*cores)) // message round + compares
+		for r := 0; r < cores; r++ {
+			if r == th.core || !sys.TxnActive(r) {
+				continue
+			}
+			if sys.Rsig(r).Intersects(wsig) || sys.Wsig(r).Intersects(wsig) {
+				sys.ForceWord(rt.status[r], stAborted)
+			}
+		}
+	}
+	broadcast()
+
+	switch sys.CASCommitNoCST(th.ctx, th.core, th.status, stActive, stCommitted) {
+	case tmesi.CommitAborted:
+		sys.Store(th.ctx, th.core, rt.token, 0)
+		abort()
+	default:
+	}
+	// In hardware the broadcast and the commit are one bus-ordered action;
+	// here they are separate simulated operations, so a reader can slip in
+	// between them. Re-broadcasting after the flash closes the window (a
+	// reader that now sees the committed values may be aborted spuriously,
+	// which is safe).
+	broadcast()
+	sys.Store(th.ctx, th.core, rt.token, 0)
+}
+
+// txn adapts the thread to tmapi.Txn over PDI.
+type txn struct{ th *thread }
+
+// Load implements tmapi.Txn.
+func (t txn) Load(a memory.Addr) uint64 {
+	th := t.th
+	v := th.rt.sys.TLoad(th.ctx, th.core, a).Val
+	th.checkAlert()
+	return v
+}
+
+// Store implements tmapi.Txn.
+func (t txn) Store(a memory.Addr, v uint64) {
+	th := t.th
+	th.rt.sys.TStore(th.ctx, th.core, a, v)
+	th.checkAlert()
+}
+
+// Abort implements tmapi.Txn.
+func (t txn) Abort() { panic(tmapi.AbortError{UserRequested: true}) }

@@ -1,0 +1,129 @@
+// Package cgl implements the coarse-grain-lock baseline of the paper's
+// evaluation: every Atomic section acquires one global test-and-test-and-set
+// lock in simulated memory. Single-thread CGL throughput is the
+// normalization basis for every plot in Figure 4 and Figure 5.
+package cgl
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// Runtime is a coarse-grain lock "TM".
+type Runtime struct {
+	sys   *tmesi.System
+	lock  memory.Addr
+	stats []tmapi.Stats
+}
+
+// New returns a CGL runtime over sys.
+func New(sys *tmesi.System) *Runtime {
+	return &Runtime{
+		sys:   sys,
+		lock:  sys.Alloc().Alloc(memory.LineWords),
+		stats: make([]tmapi.Stats, sys.Config().Cores),
+	}
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string { return "CGL" }
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+	}
+	return total
+}
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return &thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0xC61),
+	}
+}
+
+type thread struct {
+	rt    *Runtime
+	ctx   *sim.Ctx
+	core  int
+	rnd   *sim.Rand
+	depth int
+}
+
+func (th *thread) Core() int       { return th.core }
+func (th *thread) Ctx() *sim.Ctx   { return th.ctx }
+func (th *thread) Rand() *sim.Rand { return th.rnd }
+func (th *thread) Work(d sim.Time) { th.ctx.Advance(d) }
+func (th *thread) Load(a memory.Addr) uint64 {
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+func (th *thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+}
+
+// Atomic implements tmapi.Thread by bracketing body with the global lock.
+func (th *thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txn{th})
+		return
+	}
+	th.acquire()
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		th.release()
+		th.rt.stats[th.core].Commits++
+	}()
+	body(txn{th})
+}
+
+// acquire spins with test-and-test-and-set: a short tight spin first (the
+// common handoff case), then bounded randomized backoff so heavy contention
+// does not saturate the lock line.
+func (th *thread) acquire() {
+	sys := th.rt.sys
+	for attempt := 0; ; attempt++ {
+		if sys.Load(th.ctx, th.core, th.rt.lock).Val == 0 {
+			if _, ok := sys.CAS(th.ctx, th.core, th.rt.lock, 0, uint64(th.core)+1); ok {
+				return
+			}
+		}
+		if attempt < 4 {
+			th.ctx.Advance(4) // tight spin on the cached line
+			continue
+		}
+		shift := attempt - 4
+		if shift > 3 {
+			shift = 3
+		}
+		th.ctx.Advance(sim.Time(th.rnd.Intn(16<<uint(shift) + 1)))
+	}
+}
+
+func (th *thread) release() {
+	th.rt.sys.Store(th.ctx, th.core, th.rt.lock, 0)
+}
+
+// txn adapts lock-protected plain access to tmapi.Txn.
+type txn struct{ th *thread }
+
+// Load implements tmapi.Txn.
+func (t txn) Load(a memory.Addr) uint64 { return t.th.rt.sys.Load(t.th.ctx, t.th.core, a).Val }
+
+// Store implements tmapi.Txn.
+func (t txn) Store(a memory.Addr, v uint64) { t.th.rt.sys.Store(t.th.ctx, t.th.core, a, v) }
+
+// Abort is meaningless under a lock; CGL sections are not speculative.
+// Workloads only call Abort for explicit retry, which none of the paper's
+// benchmarks do, so this panics to surface misuse.
+func (t txn) Abort() { panic("cgl: Abort inside a lock-based atomic section") }

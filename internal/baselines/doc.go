@@ -1,0 +1,7 @@
+// Package baselines groups the TM systems the paper evaluates against:
+// coarse-grain locks (cgl), RSTM-style object STM (rstm), TL2-style
+// word STM (tl2), and the RTM-F hardware-accelerated STM (rtmf). All run
+// over the same simulated memory system as FlexTM, paying their metadata
+// costs in simulated traffic. This parent package holds cross-system
+// conformance tests.
+package baselines

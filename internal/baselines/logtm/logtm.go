@@ -1,0 +1,348 @@
+// Package logtm implements a LogTM-SE-flavored baseline (Moore et al.,
+// HPCA 2006; Yen et al., HPCA 2007): the design point the paper contrasts
+// FlexTM with in Sections 2 and 5. Its characteristics, mirrored here:
+//
+//   - Eager versioning: stores write the home location in place after
+//     saving the old value to a per-thread undo log, so commits are fast
+//     (drop the log) and aborts are slow (walk the log in reverse — unlike
+//     FlexTM's order-free OT copy-back).
+//   - Eager conflict detection with requestor stalls: a conflicting access
+//     waits for the owner; transactions cannot abort remote peers (the
+//     limitation that lets running transactions convoy behind others).
+//   - Deadlock avoidance by age: a younger transaction that has stalled
+//     too long behind an older one aborts itself.
+//
+// Ownership metadata lives in two-word headers in simulated memory
+// (word 0: writer, word 1: reader bitmap), standing in for LogTM-SE's
+// signature-over-coherence detection; the traffic it generates models the
+// NACK/retry protocol.
+package logtm
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// Headers is the size of the ownership-header table.
+const Headers = 1 << 13
+
+const (
+	hWriter = 0 // word 0: writer core + 1, or 0
+	hReader = 1 // word 1: reader bitmap
+)
+
+// logWords is the per-thread undo-log capacity (address/value pairs).
+const logWords = 8192
+
+// Runtime is a LogTM-SE-style instance.
+type Runtime struct {
+	sys     *tmesi.System
+	headers memory.Addr
+	logs    []memory.Addr
+	stamps  []uint64 // begin timestamps (age) per core
+	clock   uint64
+	stats   []tmapi.Stats
+	// StallLimit bounds how many back-off rounds a younger transaction
+	// waits before the age rule makes it abort itself.
+	StallLimit int
+}
+
+// New returns a LogTM runtime over sys.
+func New(sys *tmesi.System) *Runtime {
+	cores := sys.Config().Cores
+	rt := &Runtime{
+		sys:        sys,
+		headers:    sys.Alloc().Alloc(Headers * memory.LineWords),
+		logs:       make([]memory.Addr, cores),
+		stamps:     make([]uint64, cores),
+		stats:      make([]tmapi.Stats, cores),
+		StallLimit: 20,
+	}
+	for i := range rt.logs {
+		rt.logs[i] = sys.Alloc().Alloc(logWords)
+	}
+	return rt
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string { return "LogTM" }
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+	}
+	return total
+}
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return &thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0x106),
+	}
+}
+
+func (rt *Runtime) headerOf(l memory.LineAddr) memory.Addr {
+	h := uint64(l) * 0xC2B2AE3D27D4EB4F
+	return rt.headers + memory.Addr((h%Headers)*memory.LineWords)
+}
+
+type undoEntry struct {
+	addr memory.Addr
+	old  uint64
+}
+
+type thread struct {
+	rt    *Runtime
+	ctx   *sim.Ctx
+	core  int
+	rnd   *sim.Rand
+	depth int
+
+	stamp    uint64
+	undo     []undoEntry // mirrored in simulated memory at rt.logs[core]
+	writeHdr map[memory.Addr]bool
+	writeOrd []memory.Addr // deterministic release order
+	readHdr  map[memory.Addr]bool
+	readOrd  []memory.Addr
+	aborts   int
+}
+
+func (th *thread) Core() int       { return th.core }
+func (th *thread) Ctx() *sim.Ctx   { return th.ctx }
+func (th *thread) Rand() *sim.Rand { return th.rnd }
+func (th *thread) Work(d sim.Time) { th.ctx.Advance(d) }
+func (th *thread) Load(a memory.Addr) uint64 {
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+func (th *thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+}
+
+// Atomic implements tmapi.Thread.
+func (th *thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txn{th})
+		return
+	}
+	for {
+		th.begin()
+		if th.attempt(body) {
+			th.rt.stats[th.core].Commits++
+			th.aborts = 0
+			return
+		}
+		th.rt.stats[th.core].Aborts++
+		th.aborts++
+		shift := th.aborts
+		if shift > 8 {
+			shift = 8
+		}
+		th.ctx.Advance(sim.Time(th.rnd.Intn(64<<uint(shift) + 1)))
+	}
+}
+
+func (th *thread) begin() {
+	rt := th.rt
+	rt.clock++
+	th.stamp = rt.clock
+	rt.stamps[th.core] = th.stamp
+	th.undo = th.undo[:0]
+	th.writeHdr = make(map[memory.Addr]bool)
+	th.writeOrd = th.writeOrd[:0]
+	th.readHdr = make(map[memory.Addr]bool)
+	th.readOrd = th.readOrd[:0]
+	th.ctx.Advance(20) // register checkpoint + log pointer setup
+}
+
+func (th *thread) attempt(body func(tmapi.Txn)) (ok bool) {
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		if r := recover(); r != nil {
+			if _, isAbort := r.(tmapi.AbortError); !isAbort {
+				panic(r)
+			}
+			th.rollback()
+		}
+	}()
+	body(txn{th})
+	th.commit()
+	return true
+}
+
+func abort() { panic(tmapi.AbortError{}) }
+
+// stall models a NACKed request: back off and retry; the age rule aborts a
+// younger transaction that has waited too long (deadlock avoidance).
+func (th *thread) stall(attempt int, ownerStamp uint64) {
+	if attempt >= th.rt.StallLimit && th.stamp > ownerStamp {
+		abort() // younger yields to older: no deadlock
+	}
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	th.ctx.Advance(sim.Time(16 + th.rnd.Intn(16<<uint(shift))))
+}
+
+// openRead registers this core as a reader of the line, stalling while a
+// remote writer owns it.
+func (th *thread) openRead(line memory.LineAddr) {
+	rt, sys := th.rt, th.rt.sys
+	hdr := rt.headerOf(line)
+	if th.readHdr[hdr] || th.writeHdr[hdr] {
+		return
+	}
+	myBit := uint64(1) << uint(th.core)
+	for attempt := 0; ; attempt++ {
+		w := sys.Load(th.ctx, th.core, hdr+hWriter).Val
+		if w != 0 && int(w-1) != th.core {
+			th.stall(attempt, rt.stamps[w-1])
+			continue
+		}
+		// Publish our reader bit (atomic RMW on the header's reader word).
+		for {
+			cur := sys.Load(th.ctx, th.core, hdr+hReader).Val
+			if _, ok := sys.CAS(th.ctx, th.core, hdr+hReader, cur, cur|myBit); ok {
+				break
+			}
+		}
+		// Re-check the writer: one may have acquired (and begun writing in
+		// place) between our check and the bit publication. If so, retreat
+		// and stall — reading now could observe uncommitted data.
+		w = sys.Load(th.ctx, th.core, hdr+hWriter).Val
+		if w != 0 && int(w-1) != th.core {
+			for {
+				cur := sys.Load(th.ctx, th.core, hdr+hReader).Val
+				if _, ok := sys.CAS(th.ctx, th.core, hdr+hReader, cur, cur&^myBit); ok {
+					break
+				}
+			}
+			th.stall(attempt, rt.stamps[w-1])
+			continue
+		}
+		break
+	}
+	th.readHdr[hdr] = true
+	th.readOrd = append(th.readOrd, hdr)
+}
+
+// openWrite acquires write ownership of the line, stalling while remote
+// readers or a writer hold it.
+func (th *thread) openWrite(line memory.LineAddr) {
+	rt, sys := th.rt, th.rt.sys
+	hdr := rt.headerOf(line)
+	if th.writeHdr[hdr] {
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		w := sys.Load(th.ctx, th.core, hdr+hWriter).Val
+		if w != 0 && int(w-1) != th.core {
+			th.stall(attempt, rt.stamps[w-1])
+			continue
+		}
+		if w == 0 {
+			if _, ok := sys.CAS(th.ctx, th.core, hdr+hWriter, 0, uint64(th.core)+1); !ok {
+				continue
+			}
+			th.writeHdr[hdr] = true
+			th.writeOrd = append(th.writeOrd, hdr)
+		} else {
+			th.writeHdr[hdr] = true // already ours
+			th.writeOrd = append(th.writeOrd, hdr)
+		}
+		break
+	}
+	// Wait out foreign readers (LogTM NACKs the writer until they drain).
+	myBit := uint64(1) << uint(th.core)
+	for attempt := 0; ; attempt++ {
+		r := sys.Load(th.ctx, th.core, hdr+hReader).Val
+		if r&^myBit == 0 {
+			return
+		}
+		// Age rule against the oldest reader we are stuck behind.
+		oldest := uint64(1 << 63)
+		for c := 0; c < len(rt.stamps); c++ {
+			if r&(1<<uint(c)) != 0 && c != th.core && rt.stamps[c] < oldest {
+				oldest = rt.stamps[c]
+			}
+		}
+		th.stall(attempt, oldest)
+	}
+}
+
+// commit is fast: release ownership, truncate the log.
+func (th *thread) commit() {
+	th.release()
+	th.ctx.Advance(10) // log pointer reset
+}
+
+// rollback walks the undo log in reverse, restoring old values in place,
+// then releases ownership — LogTM's expensive abort path.
+func (th *thread) rollback() {
+	sys := th.rt.sys
+	for i := len(th.undo) - 1; i >= 0; i-- {
+		sys.Store(th.ctx, th.core, th.undo[i].addr, th.undo[i].old)
+		th.ctx.Advance(4) // log walk instructions
+	}
+	th.release()
+}
+
+// release drops write ownership and the reader bit on every touched header
+// (slices, not maps, so the simulated access order is deterministic).
+func (th *thread) release() {
+	sys := th.rt.sys
+	for _, hdr := range th.writeOrd {
+		sys.Store(th.ctx, th.core, hdr+hWriter, 0)
+	}
+	myBit := uint64(1) << uint(th.core)
+	for _, hdr := range th.readOrd {
+		for {
+			cur := sys.Load(th.ctx, th.core, hdr+hReader).Val
+			if cur&myBit == 0 {
+				break
+			}
+			if _, ok := sys.CAS(th.ctx, th.core, hdr+hReader, cur, cur&^myBit); ok {
+				break
+			}
+		}
+	}
+}
+
+// txn adapts the thread to tmapi.Txn with eager in-place semantics.
+type txn struct{ th *thread }
+
+// Load implements tmapi.Txn.
+func (t txn) Load(a memory.Addr) uint64 {
+	th := t.th
+	th.openRead(a.Line())
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+
+// Store implements tmapi.Txn: log the old value, then write in place.
+func (t txn) Store(a memory.Addr, v uint64) {
+	th := t.th
+	th.openWrite(a.Line())
+	sys := th.rt.sys
+	old := sys.Load(th.ctx, th.core, a).Val
+	if len(th.undo) < logWords/2 {
+		slot := th.rt.logs[th.core] + memory.Addr(2*len(th.undo))
+		sys.Store(th.ctx, th.core, slot, uint64(a))
+		sys.Store(th.ctx, th.core, slot+1, old)
+	}
+	th.undo = append(th.undo, undoEntry{addr: a, old: old})
+	sys.Store(th.ctx, th.core, a, v)
+}
+
+// Abort implements tmapi.Txn.
+func (t txn) Abort() { panic(tmapi.AbortError{UserRequested: true}) }

@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"testing"
+
+	"flextm/internal/baselines/bulk"
+	"flextm/internal/baselines/logtm"
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+func newLogTM() (tmapi.Runtime, *tmesi.System) {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 8
+	sys := tmesi.New(cfg)
+	return logtm.New(sys), sys
+}
+
+func TestLogTMCounterSerializes(t *testing.T) {
+	rt, sys := newLogTM()
+	x := sys.Alloc().Alloc(1)
+	bodies := make([]func(tmapi.Thread), 6)
+	for i := range bodies {
+		bodies[i] = func(th tmapi.Thread) {
+			for j := 0; j < 25; j++ {
+				th.Atomic(func(tx tmapi.Txn) {
+					tx.Store(x, tx.Load(x)+1)
+				})
+				th.Work(100)
+			}
+		}
+	}
+	runAll(t, rt, bodies...)
+	if v := sys.ReadWordRaw(x); v != 150 {
+		t.Fatalf("counter = %d, want 150", v)
+	}
+}
+
+func TestLogTMBankInvariant(t *testing.T) {
+	rt, sys := newLogTM()
+	const accounts, initial = 12, 500
+	base := sys.Alloc().Alloc(accounts * memory.LineWords)
+	acct := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
+	for i := 0; i < accounts; i++ {
+		sys.Image().WriteWord(acct(i), initial)
+	}
+	bodies := make([]func(tmapi.Thread), 5)
+	for i := range bodies {
+		bodies[i] = func(th tmapi.Thread) {
+			r := th.Rand()
+			for j := 0; j < 25; j++ {
+				from, to := r.Intn(accounts), r.Intn(accounts)
+				amt := uint64(r.Intn(20))
+				th.Atomic(func(tx tmapi.Txn) {
+					f := tx.Load(acct(from))
+					if f < amt {
+						return
+					}
+					tx.Store(acct(from), f-amt)
+					tx.Store(acct(to), tx.Load(acct(to))+amt)
+				})
+			}
+		}
+	}
+	runAll(t, rt, bodies...)
+	var total uint64
+	for i := 0; i < accounts; i++ {
+		total += sys.ReadWordRaw(acct(i))
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+func TestLogTMAbortRollsBackInReverse(t *testing.T) {
+	rt, sys := newLogTM()
+	x := sys.Alloc().Alloc(1)
+	y := sys.Alloc().Alloc(1)
+	sys.Image().WriteWord(x, 10)
+	sys.Image().WriteWord(y, 20)
+	runAll(t, rt, func(th tmapi.Thread) {
+		first := true
+		th.Atomic(func(tx tmapi.Txn) {
+			tx.Store(x, 11)
+			tx.Store(y, 21)
+			tx.Store(x, 12) // two log entries for x: reverse order matters
+			if first {
+				first = false
+				tx.Abort()
+			}
+		})
+	})
+	// Values were restored by the abort and then rewritten by the retry.
+	if sys.ReadWordRaw(x) != 12 || sys.ReadWordRaw(y) != 21 {
+		t.Fatalf("x=%d y=%d", sys.ReadWordRaw(x), sys.ReadWordRaw(y))
+	}
+	if rt.Stats().Aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", rt.Stats().Aborts)
+	}
+}
+
+func TestLogTMCommitCheapAbortExpensive(t *testing.T) {
+	// LogTM's signature trade-off: commit discards the log (O(1)); abort
+	// walks it in reverse (O(writes)).
+	rt, sys := newLogTM()
+	base := sys.Alloc().Alloc(64 * memory.LineWords)
+	var commitCost, abortCost sim.Time
+	runAll(t, rt, func(th tmapi.Thread) {
+		// Warm.
+		th.Atomic(func(tx tmapi.Txn) {
+			for i := 0; i < 32; i++ {
+				tx.Store(base+memory.Addr(i*memory.LineWords), 1)
+			}
+		})
+		// Committing txn: measure from after the writes.
+		var afterWrites sim.Time
+		th.Atomic(func(tx tmapi.Txn) {
+			for i := 0; i < 32; i++ {
+				tx.Store(base+memory.Addr(i*memory.LineWords), 2)
+			}
+			afterWrites = th.Ctx().Now()
+		})
+		commitCost = th.Ctx().Now() - afterWrites
+		// Aborting txn of the same size.
+		first := true
+		th.Atomic(func(tx tmapi.Txn) {
+			for i := 0; i < 32; i++ {
+				tx.Store(base+memory.Addr(i*memory.LineWords), 3)
+			}
+			if first {
+				first = false
+				afterWrites = th.Ctx().Now()
+				tx.Abort()
+			}
+		})
+		_ = afterWrites
+	})
+	// Abort cost is implicitly visible in stats; assert commit is cheap.
+	if commitCost > 200 {
+		t.Fatalf("commit after writes cost %d cycles; LogTM commits should be O(1)", commitCost)
+	}
+	_ = abortCost
+	if rt.Stats().Aborts != 1 {
+		t.Fatalf("aborts = %d", rt.Stats().Aborts)
+	}
+}
+
+func TestLogTMWriterWaitsForReaders(t *testing.T) {
+	rt, sys := newLogTM()
+	x := sys.Alloc().Alloc(1)
+	var writerDone, readerDone sim.Time
+	runAll(t, rt, func(th tmapi.Thread) {
+		// Older long-running reader.
+		th.Atomic(func(tx tmapi.Txn) {
+			tx.Load(x)
+			th.Work(5000)
+		})
+		readerDone = th.Ctx().Now()
+	}, func(th tmapi.Thread) {
+		th.Work(500) // start after the reader opened x
+		th.Atomic(func(tx tmapi.Txn) {
+			tx.Store(x, 1) // must wait for the older reader (no remote abort!)
+		})
+		writerDone = th.Ctx().Now()
+	})
+	if writerDone < readerDone {
+		t.Fatalf("writer finished at %d before the older reader (%d); LogTM cannot abort remote readers",
+			writerDone, readerDone)
+	}
+}
+
+func TestLogTMYoungerAbortsSelfOnDeadlock(t *testing.T) {
+	rt, sys := newLogTM()
+	x := sys.Alloc().Alloc(1)
+	y := sys.Alloc().Alloc(1)
+	runAll(t, rt, func(th tmapi.Thread) {
+		th.Atomic(func(tx tmapi.Txn) { // older: x then y
+			tx.Store(x, 1)
+			th.Work(2000)
+			tx.Store(y, 1)
+		})
+	}, func(th tmapi.Thread) {
+		th.Work(300)
+		th.Atomic(func(tx tmapi.Txn) { // younger: y then x -> deadlock cycle
+			tx.Store(y, 2)
+			th.Work(2000)
+			tx.Store(x, 2)
+		})
+	})
+	if rt.Stats().Aborts == 0 {
+		t.Fatal("deadlock cycle resolved without any abort?")
+	}
+	if rt.Stats().Commits != 2 {
+		t.Fatalf("commits = %d, want 2", rt.Stats().Commits)
+	}
+}
+
+func TestBulkCommitsSerialize(t *testing.T) {
+	// Bulk's commit token serializes commits; FlexTM commits in parallel.
+	// On a perfectly partitioned workload (disjoint lines per thread) at
+	// many threads, FlexTM(Lazy) must clearly outscale Bulk.
+	run := func(mk func(*tmesi.System) tmapi.Runtime) sim.Time {
+		cfg := tmesi.DefaultConfig()
+		sys := tmesi.New(cfg)
+		rt := mk(sys)
+		base := sys.Alloc().Alloc(16 * memory.LineWords)
+		e := sim.NewEngine()
+		for i := 0; i < 16; i++ {
+			id := i
+			e.Spawn("w", 0, func(ctx *sim.Ctx) {
+				th := rt.Bind(ctx, id)
+				a := base + memory.Addr(id*memory.LineWords)
+				for j := 0; j < 100; j++ {
+					th.Atomic(func(tx tmapi.Txn) {
+						tx.Store(a, tx.Load(a)+1)
+					})
+				}
+			})
+		}
+		e.Run()
+		if got := rt.Stats().Commits; got != 1600 {
+			t.Fatalf("%s: commits = %d, want 1600", rt.Name(), got)
+		}
+		return e.MaxTime()
+	}
+	bulkTime := run(func(s *tmesi.System) tmapi.Runtime { return bulk.New(s) })
+	flexTime := run(func(s *tmesi.System) tmapi.Runtime { return core.New(s, core.Lazy, cm.NewPolka()) })
+	if bulkTime < flexTime*3/2 {
+		t.Fatalf("token-serialized Bulk (%d cy) should be much slower than FlexTM (%d cy) on disjoint txns",
+			bulkTime, flexTime)
+	}
+}
+
+func TestBulkFalsePositiveAbortsExist(t *testing.T) {
+	// Signature-broadcast conflict detection aborts on Bloom aliasing;
+	// with many distinct lines in flight some spurious aborts are expected
+	// under contention, but correctness must hold (covered by the shared
+	// conformance tests). Here we just confirm Bulk resolves real
+	// conflicts: two overlapping writers, one aborts.
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	sys := tmesi.New(cfg)
+	rt := bulk.New(sys)
+	x := sys.Alloc().Alloc(1)
+	e := sim.NewEngine()
+	for i := 0; i < 2; i++ {
+		id := i
+		e.Spawn("w", 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, id)
+			th.Atomic(func(tx tmapi.Txn) {
+				v := tx.Load(x)
+				th.Work(3000)
+				tx.Store(x, v+1)
+			})
+		})
+	}
+	e.Run()
+	if v := sys.ReadWordRaw(x); v != 2 {
+		t.Fatalf("x = %d, want 2", v)
+	}
+	if rt.Stats().Aborts == 0 {
+		t.Fatal("overlapping writers should have conflicted at commit")
+	}
+}

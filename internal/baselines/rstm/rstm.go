@@ -1,0 +1,383 @@
+// Package rstm implements an object-based software TM in the style of RSTM
+// (Marathe et al.), configured as in the paper's evaluation: invisible
+// readers with self validation for conflict detection, clone-on-write
+// versioning, and a contention manager for writer-writer arbitration.
+//
+// Objects are cache-line granules guarded by header words in simulated
+// memory. Every open pays the metadata costs the paper charges RSTM for:
+// a header load (indirection), a status-word check, acquisition CASes for
+// writers, a full clone on first write, and — because readers are
+// invisible — re-validation of the entire read list on every open. All of
+// this traffic goes through the simulated memory system.
+package rstm
+
+import (
+	"flextm/internal/cm"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// Headers is the size of the object-header table.
+const Headers = 1 << 13
+
+// Status-word values.
+const (
+	stActive    = 1
+	stCommitted = 2
+	stAborted   = 3
+)
+
+// header encoding: version<<8 | (owner+1); low byte 0 means unowned.
+const ownerMask = 0xFF
+
+// Runtime is an RSTM instance.
+type Runtime struct {
+	sys     *tmesi.System
+	mgr     cm.Manager
+	headers memory.Addr
+	status  []memory.Addr // per-core current status word (fresh per txn)
+	arenas  [][]memory.Addr
+	arenaIx []int
+	clones  []memory.Addr // per-core clone arena (ring of lines)
+	cloneIx []int
+	karma   []int
+	stats   []tmapi.Stats
+}
+
+const statusSlots = 64
+const cloneLines = 512
+
+// New returns an RSTM runtime over sys using manager mgr.
+func New(sys *tmesi.System, mgr cm.Manager) *Runtime {
+	cores := sys.Config().Cores
+	rt := &Runtime{
+		sys:     sys,
+		mgr:     mgr,
+		headers: sys.Alloc().Alloc(Headers * memory.LineWords),
+		status:  make([]memory.Addr, cores),
+		arenas:  make([][]memory.Addr, cores),
+		arenaIx: make([]int, cores),
+		clones:  make([]memory.Addr, cores),
+		cloneIx: make([]int, cores),
+		karma:   make([]int, cores),
+		stats:   make([]tmapi.Stats, cores),
+	}
+	for c := 0; c < cores; c++ {
+		slots := make([]memory.Addr, statusSlots)
+		for i := range slots {
+			slots[i] = sys.Alloc().Alloc(memory.LineWords)
+		}
+		rt.arenas[c] = slots
+		rt.clones[c] = sys.Alloc().Alloc(cloneLines * memory.LineWords)
+	}
+	return rt
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string { return "RSTM" }
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+	}
+	return total
+}
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return &thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0x57A),
+	}
+}
+
+// headerOf maps a line to its header word. Headers sit on distinct cache
+// lines so that acquiring one object does not invalidate neighbors.
+func (rt *Runtime) headerOf(l memory.LineAddr) memory.Addr {
+	h := uint64(l) * 0xC2B2AE3D27D4EB4F
+	return rt.headers + memory.Addr((h%Headers)*memory.LineWords)
+}
+
+type readEntry struct {
+	hdr memory.Addr
+	ver uint64
+}
+
+type writeEntry struct {
+	line  memory.LineAddr
+	hdr   memory.Addr
+	ver   uint64 // pre-acquire version
+	clone memory.Addr
+}
+
+type thread struct {
+	rt    *Runtime
+	ctx   *sim.Ctx
+	core  int
+	rnd   *sim.Rand
+	depth int
+
+	status  memory.Addr
+	reads   []readEntry
+	opened  map[memory.LineAddr]bool // lines already opened read-only
+	writes  []writeEntry
+	written map[memory.LineAddr]int // line -> index in writes
+	aborts  int
+}
+
+func (th *thread) Core() int       { return th.core }
+func (th *thread) Ctx() *sim.Ctx   { return th.ctx }
+func (th *thread) Rand() *sim.Rand { return th.rnd }
+func (th *thread) Work(d sim.Time) { th.ctx.Advance(d) }
+func (th *thread) Load(a memory.Addr) uint64 {
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+func (th *thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+}
+
+// Atomic implements tmapi.Thread.
+func (th *thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txn{th})
+		return
+	}
+	for {
+		th.begin()
+		if th.attempt(body) {
+			th.rt.stats[th.core].Commits++
+			th.aborts = 0
+			return
+		}
+		th.rt.stats[th.core].Aborts++
+		th.aborts++
+		th.ctx.Advance(th.rt.mgr.RetryBackoff(th.aborts, th.rnd))
+	}
+}
+
+func (th *thread) begin() {
+	rt := th.rt
+	i := rt.arenaIx[th.core]
+	rt.arenaIx[th.core] = (i + 1) % statusSlots
+	th.status = rt.arenas[th.core][i]
+	rt.sys.Store(th.ctx, th.core, th.status, stActive)
+	rt.status[th.core] = th.status
+	rt.karma[th.core] = 0
+	th.reads = th.reads[:0]
+	th.opened = make(map[memory.LineAddr]bool)
+	th.writes = th.writes[:0]
+	th.written = make(map[memory.LineAddr]int)
+	rt.cloneIx[th.core] = 0
+}
+
+func (th *thread) attempt(body func(tmapi.Txn)) (ok bool) {
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		if r := recover(); r != nil {
+			if _, isAbort := r.(tmapi.AbortError); !isAbort {
+				panic(r)
+			}
+			th.releaseAll(false)
+		}
+	}()
+	body(txn{th})
+	return th.commit()
+}
+
+func abort() { panic(tmapi.AbortError{}) }
+
+// checkSelf polls the transaction's own status word: invisible readers must
+// notice remote aborts themselves.
+func (th *thread) checkSelf() {
+	if th.rt.sys.Load(th.ctx, th.core, th.status).Val == stAborted {
+		abort()
+	}
+}
+
+// validate re-reads every header in the read list (RSTM's self-validation,
+// performed on each open). This is the quadratic cost the paper measures at
+// up to 80% of RandomGraph's execution time.
+func (th *thread) validate() {
+	sys := th.rt.sys
+	for _, re := range th.reads {
+		h := sys.Load(th.ctx, th.core, re.hdr).Val
+		th.ctx.Advance(2) // loop + compare instructions
+		if h != re.ver {
+			// Acquiring the object ourselves is fine only if its version
+			// has not advanced since we read it; otherwise the read is
+			// stale even though we now own the header.
+			if owner := h & ownerMask; owner != 0 && int(owner-1) == th.core &&
+				h&^uint64(ownerMask) == re.ver&^uint64(ownerMask) {
+				continue
+			}
+			abort()
+		}
+	}
+}
+
+// barrier instruction costs: a 2006-era C++ STM spends on the order of a
+// hundred instructions per object open (function calls, descriptor
+// bookkeeping, memory management), beyond the metadata memory traffic that
+// is charged as simulated accesses.
+const (
+	openROWork  = 60
+	openRWWork  = 120
+	readIndWork = 5
+)
+
+// openRO performs the read-side protocol for line and returns the header
+// value observed.
+func (th *thread) openRO(line memory.LineAddr) {
+	rt, sys := th.rt, th.rt.sys
+	hdr := rt.headerOf(line)
+	th.ctx.Advance(openROWork)
+	th.checkSelf()
+	for attempt := 0; ; attempt++ {
+		h := sys.Load(th.ctx, th.core, hdr).Val
+		owner := h & ownerMask
+		if owner == 0 || int(owner-1) == th.core {
+			th.reads = append(th.reads, readEntry{hdr: hdr, ver: h})
+			break
+		}
+		th.contend(int(owner-1), attempt)
+	}
+	rt.karma[th.core]++
+	th.validate()
+}
+
+// openRW acquires the header for line and clones the object on first
+// write, returning the clone address writes should target.
+func (th *thread) openRW(line memory.LineAddr) memory.Addr {
+	rt, sys := th.rt, th.rt.sys
+	if i, ok := th.written[line]; ok {
+		return th.writes[i].clone
+	}
+	hdr := rt.headerOf(line)
+	th.ctx.Advance(openRWWork)
+	th.checkSelf()
+	var pre uint64
+	for attempt := 0; ; attempt++ {
+		h := sys.Load(th.ctx, th.core, hdr).Val
+		owner := h & ownerMask
+		if owner == 0 {
+			if _, ok := sys.CAS(th.ctx, th.core, hdr, h, h|uint64(th.core+1)); ok {
+				pre = h
+				break
+			}
+			continue
+		}
+		if int(owner-1) == th.core {
+			// Shouldn't happen (written map covers it), but be safe.
+			pre = h &^ ownerMask
+			break
+		}
+		th.contend(int(owner-1), attempt)
+	}
+	// Clone: copy the canonical line into the thread's clone arena.
+	ci := rt.cloneIx[th.core]
+	if ci >= cloneLines {
+		panic("rstm: transaction write set exceeds clone arena")
+	}
+	rt.cloneIx[th.core]++
+	clone := rt.clones[th.core] + memory.Addr(ci*memory.LineWords)
+	for w := 0; w < memory.LineWords; w++ {
+		v := sys.Load(th.ctx, th.core, line.WordOf(w)).Val
+		sys.Store(th.ctx, th.core, clone+memory.Addr(w), v)
+	}
+	th.writes = append(th.writes, writeEntry{line: line, hdr: hdr, ver: pre, clone: clone})
+	th.written[line] = len(th.writes) - 1
+	rt.karma[th.core]++
+	th.validate()
+	return clone
+}
+
+// contend consults the contention manager about a conflicting owner.
+func (th *thread) contend(enemy int, attempt int) {
+	rt := th.rt
+	dec, wait := rt.mgr.OnConflict(cm.Conflict{
+		Me: th.core, Enemy: enemy,
+		MyKarma: rt.karma[th.core], EnemyKarma: rt.karma[enemy],
+		Attempt: attempt,
+	}, th.rnd)
+	switch dec {
+	case cm.AbortSelf:
+		abort()
+	case cm.AbortEnemy:
+		rt.sys.CAS(th.ctx, th.core, rt.status[enemy], stActive, stAborted)
+		// Loop re-reads the header; the enemy releases it on its abort.
+		th.ctx.Advance(64)
+	case cm.Wait:
+		th.ctx.Advance(wait)
+	}
+	if attempt > 30 {
+		abort() // bounded patience: never spin forever on a stuck owner
+	}
+}
+
+// commit validates once more, swings the status word, copies clones back,
+// and releases headers with bumped versions.
+func (th *thread) commit() bool {
+	sys := th.rt.sys
+	th.validate()
+	if _, ok := sys.CAS(th.ctx, th.core, th.status, stActive, stCommitted); !ok {
+		th.releaseAll(false)
+		return false
+	}
+	th.releaseAll(true)
+	return true
+}
+
+// releaseAll publishes (commit=true) or discards (commit=false) clones and
+// releases every acquired header.
+func (th *thread) releaseAll(commit bool) {
+	sys := th.rt.sys
+	for _, we := range th.writes {
+		if commit {
+			for w := 0; w < memory.LineWords; w++ {
+				v := sys.Load(th.ctx, th.core, we.clone+memory.Addr(w)).Val
+				sys.Store(th.ctx, th.core, we.line.WordOf(w), v)
+			}
+			sys.Store(th.ctx, th.core, we.hdr, we.ver+(1<<8)) // new version, unowned
+		} else {
+			sys.Store(th.ctx, th.core, we.hdr, we.ver)
+		}
+	}
+}
+
+// txn adapts the thread to tmapi.Txn.
+type txn struct{ th *thread }
+
+// Load implements tmapi.Txn.
+func (t txn) Load(a memory.Addr) uint64 {
+	th := t.th
+	line := a.Line()
+	if i, ok := th.written[line]; ok {
+		return th.rt.sys.Load(th.ctx, th.core, th.writes[i].clone+memory.Addr(a.Offset())).Val
+	}
+	if !th.opened[line] {
+		th.openRO(line)
+		th.opened[line] = true
+	}
+	th.ctx.Advance(readIndWork) // pointer indirection through the header
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+
+// Store implements tmapi.Txn.
+func (t txn) Store(a memory.Addr, v uint64) {
+	th := t.th
+	clone := th.openRW(a.Line())
+	th.rt.sys.Store(th.ctx, th.core, clone+memory.Addr(a.Offset()), v)
+}
+
+// Abort implements tmapi.Txn.
+func (t txn) Abort() { panic(tmapi.AbortError{UserRequested: true}) }

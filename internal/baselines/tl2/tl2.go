@@ -1,0 +1,277 @@
+// Package tl2 implements a word-based software TM in the style of
+// Transactional Locking II (Dice, Shalev & Shavit, DISC 2006), the STM the
+// paper compares against for Workload-Set 2 (Vacation). It runs on "legacy
+// hardware": all of its bookkeeping — the global version clock, the
+// per-stripe versioned write locks, and the redo log — lives in simulated
+// memory and is accessed with ordinary coherent loads, stores, and CASes,
+// so its per-access costs emerge from the same latency model as FlexTM's
+// hardware paths.
+package tl2
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// Stripes is the size of the versioned-lock table. Addresses hash to
+// stripes at cache-line granularity; collisions cause false conflicts,
+// as in the real system.
+const Stripes = 1 << 13
+
+// logWords is the per-thread redo-log region size (ring).
+const logWords = 4096
+
+// Lock-word encoding: version<<1, low bit set while write-locked.
+const lockedBit = 1
+
+// Runtime is a TL2 instance.
+type Runtime struct {
+	sys   *tmesi.System
+	clock memory.Addr // global version clock
+	locks memory.Addr // stripe lock words, one per word to avoid pathological false sharing beyond hashing
+	logs  []memory.Addr
+	stats []tmapi.Stats
+	// SpinLimit bounds how long a reader/writer waits on a locked stripe
+	// before aborting.
+	SpinLimit int
+}
+
+// New returns a TL2 runtime over sys.
+func New(sys *tmesi.System) *Runtime {
+	cores := sys.Config().Cores
+	rt := &Runtime{
+		sys:       sys,
+		clock:     sys.Alloc().Alloc(memory.LineWords),
+		locks:     sys.Alloc().Alloc(Stripes),
+		logs:      make([]memory.Addr, cores),
+		stats:     make([]tmapi.Stats, cores),
+		SpinLimit: 8,
+	}
+	for i := range rt.logs {
+		rt.logs[i] = sys.Alloc().Alloc(logWords)
+	}
+	return rt
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string { return "TL2" }
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+	}
+	return total
+}
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return &thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0x71E2),
+	}
+}
+
+// stripeOf maps an address to its lock word (line granularity hash).
+func (rt *Runtime) stripeOf(a memory.Addr) memory.Addr {
+	h := uint64(a.Line()) * 0x9E3779B97F4A7C15
+	return rt.locks + memory.Addr(h%Stripes)
+}
+
+type thread struct {
+	rt    *Runtime
+	ctx   *sim.Ctx
+	core  int
+	rnd   *sim.Rand
+	depth int
+
+	rv       uint64
+	readSet  []memory.Addr // stripe addresses with observed versions
+	readVer  []uint64
+	writeMap map[memory.Addr]uint64 // address -> buffered value (redo)
+	writeOrd []memory.Addr          // insertion order for deterministic commit
+	logPos   int
+	aborts   int
+}
+
+func (th *thread) Core() int       { return th.core }
+func (th *thread) Ctx() *sim.Ctx   { return th.ctx }
+func (th *thread) Rand() *sim.Rand { return th.rnd }
+func (th *thread) Work(d sim.Time) { th.ctx.Advance(d) }
+func (th *thread) Load(a memory.Addr) uint64 {
+	return th.rt.sys.Load(th.ctx, th.core, a).Val
+}
+func (th *thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+}
+
+// Atomic implements tmapi.Thread.
+func (th *thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txn{th})
+		return
+	}
+	for {
+		th.begin()
+		if th.attempt(body) {
+			th.rt.stats[th.core].Commits++
+			th.aborts = 0
+			return
+		}
+		th.rt.stats[th.core].Aborts++
+		th.aborts++
+		shift := th.aborts
+		if shift > 10 {
+			shift = 10
+		}
+		th.ctx.Advance(sim.Time(th.rnd.Intn(32<<uint(shift) + 1)))
+	}
+}
+
+func (th *thread) begin() {
+	th.rv = th.rt.sys.Load(th.ctx, th.core, th.rt.clock).Val
+	th.readSet = th.readSet[:0]
+	th.readVer = th.readVer[:0]
+	th.writeMap = make(map[memory.Addr]uint64)
+	th.writeOrd = th.writeOrd[:0]
+}
+
+func (th *thread) attempt(body func(tmapi.Txn)) (ok bool) {
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		if r := recover(); r != nil {
+			if _, isAbort := r.(tmapi.AbortError); !isAbort {
+				panic(r)
+			}
+		}
+	}()
+	body(txn{th})
+	return th.commit()
+}
+
+func abort() { panic(tmapi.AbortError{}) }
+
+// txn adapts the thread to tmapi.Txn with TL2 semantics.
+type txn struct{ th *thread }
+
+// Load implements tmapi.Txn: the TL2 read protocol — pre-read lock, read
+// data, post-read lock check against RV.
+func (t txn) Load(a memory.Addr) uint64 {
+	th := t.th
+	if v, ok := th.writeMap[a]; ok {
+		// Bloom-filter + write-set lookup cost in real TL2; one cycle here.
+		th.ctx.Advance(1)
+		return v
+	}
+	// Read barrier instructions (bloom filter check, logging, bookkeeping).
+	th.ctx.Advance(20)
+	sys, stripe := th.rt.sys, th.rt.stripeOf(a)
+	l1 := sys.Load(th.ctx, th.core, stripe).Val
+	v := sys.Load(th.ctx, th.core, a).Val
+	l2 := sys.Load(th.ctx, th.core, stripe).Val
+	if l1 != l2 || l1&lockedBit != 0 || l1>>1 > th.rv {
+		abort()
+	}
+	th.readSet = append(th.readSet, stripe)
+	th.readVer = append(th.readVer, l1)
+	return v
+}
+
+// Store implements tmapi.Txn: buffer the value in the redo log.
+func (t txn) Store(a memory.Addr, v uint64) {
+	th := t.th
+	if _, seen := th.writeMap[a]; !seen {
+		th.writeOrd = append(th.writeOrd, a)
+	}
+	th.writeMap[a] = v
+	th.ctx.Advance(25) // write barrier instructions
+	// Redo-log append traffic: one store into the thread's log ring.
+	log := th.rt.logs[th.core] + memory.Addr(th.logPos%logWords)
+	th.logPos++
+	th.rt.sys.Store(th.ctx, th.core, log, v)
+}
+
+// Abort implements tmapi.Txn.
+func (t txn) Abort() { panic(tmapi.AbortError{UserRequested: true}) }
+
+// commit runs the TL2 commit protocol: lock the write set, bump the global
+// clock, validate the read set, write back, release.
+func (th *thread) commit() bool {
+	sys := th.rt.sys
+	if len(th.writeOrd) == 0 {
+		return true // read-only fast path
+	}
+
+	// Phase 1: acquire stripe locks (deduplicated, deterministic order).
+	held := make([]memory.Addr, 0, len(th.writeOrd))
+	heldVer := make([]uint64, 0, len(th.writeOrd))
+	locked := make(map[memory.Addr]bool)
+	fail := func() bool {
+		for i, s := range held {
+			sys.Store(th.ctx, th.core, s, heldVer[i])
+		}
+		return false
+	}
+	for _, a := range th.writeOrd {
+		s := th.rt.stripeOf(a)
+		if locked[s] {
+			continue
+		}
+		got := false
+		for spin := 0; spin < th.rt.SpinLimit; spin++ {
+			cur := sys.Load(th.ctx, th.core, s).Val
+			if cur&lockedBit != 0 {
+				th.ctx.Advance(sim.Time(32 + th.rnd.Intn(64)))
+				continue
+			}
+			if cur>>1 > th.rv {
+				return fail()
+			}
+			if _, ok := sys.CAS(th.ctx, th.core, s, cur, cur|lockedBit); ok {
+				held = append(held, s)
+				heldVer = append(heldVer, cur)
+				locked[s] = true
+				got = true
+				break
+			}
+		}
+		if !got {
+			return fail()
+		}
+	}
+
+	// Phase 2: increment the global clock.
+	wv := sys.FetchAdd(th.ctx, th.core, th.rt.clock, 1) + 1
+
+	// Phase 3: validate the read set (skip if rv+1 == wv: nothing changed).
+	if wv != th.rv+1 {
+		for i, s := range th.readSet {
+			if locked[s] {
+				continue // we hold it
+			}
+			cur := sys.Load(th.ctx, th.core, s).Val
+			if cur != th.readVer[i] {
+				return fail()
+			}
+		}
+	}
+
+	// Phase 4: write back and release with the new version.
+	for _, a := range th.writeOrd {
+		th.ctx.Advance(8) // commit loop bookkeeping
+		sys.Store(th.ctx, th.core, a, th.writeMap[a])
+	}
+	for _, s := range held {
+		sys.Store(th.ctx, th.core, s, wv<<1)
+	}
+	return true
+}

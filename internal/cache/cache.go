@@ -1,0 +1,350 @@
+// Package cache models the private L1 data cache of a FlexTM core: a
+// set-associative array whose lines carry the TMESI state machine of
+// Figure 1 plus the A (alert) bit, backed by a small victim buffer, exactly
+// as configured in Table 3(a) of the paper (32 KB, 2-way, 64-byte blocks,
+// 32-entry victim buffer).
+//
+// The package holds state and data; the coherence protocol that drives
+// transitions lives in internal/tmesi.
+package cache
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+)
+
+// State is a TMESI cache-line state. The encoding follows Figure 1 of the
+// paper: TMI is M-bit+T-bit ("transactional store buffered here"); TI is
+// T-bit in the invalid state ("read a threatened line's committed value").
+type State uint8
+
+const (
+	// Invalid: no valid copy.
+	Invalid State = iota
+	// Shared: clean, possibly multiple sharers.
+	Shared
+	// Exclusive: clean, sole copy.
+	Exclusive
+	// Modified: dirty, sole copy, non-speculative.
+	Modified
+	// TMI: speculatively written (TStore); invisible to remote readers
+	// until commit. Reverts to Modified on commit, Invalid on abort.
+	TMI
+	// TI: holds the committed value of a line that some remote processor
+	// has in TMI. Reverts to Invalid on commit or abort.
+	TI
+)
+
+// String returns the conventional state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case TMI:
+		return "TMI"
+	case TI:
+		return "TI"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the state holds usable data for local reads.
+func (s State) Valid() bool { return s != Invalid }
+
+// Speculative reports whether the state is one of the PDI states that flash
+// commit/abort must touch.
+func (s State) Speculative() bool { return s == TMI || s == TI }
+
+// Line is one cache line.
+type Line struct {
+	Tag   memory.LineAddr
+	State State
+	Alert bool // the AOU 'A' bit
+	Data  memory.LineData
+	lru   uint64
+}
+
+// Config fixes a cache's geometry.
+type Config struct {
+	Sets       int // number of sets (power of two)
+	Ways       int
+	VictimSize int // entries in the victim buffer; <0 means unbounded
+	// UnboundedTMIVictim lets speculative (TMI) lines stay in the victim
+	// buffer without bound while non-speculative lines obey VictimSize:
+	// the "ideal infinite speculative buffer" of the Section 7.3 ablation.
+	UnboundedTMIVictim bool
+}
+
+// DefaultL1Config is the paper's L1: 32 KB, 2-way, 64 B lines -> 256 sets,
+// with a 32-entry victim buffer.
+func DefaultL1Config() Config { return Config{Sets: 256, Ways: 2, VictimSize: 32} }
+
+// Cache is a set-associative cache with a victim buffer. The zero value is
+// not usable; call New.
+type Cache struct {
+	cfg    Config
+	sets   [][]Line
+	victim []Line // FIFO order: victim[0] is oldest
+	clock  uint64
+}
+
+// New returns an empty cache with the given geometry.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 || cfg.Ways <= 0 {
+		panic("cache: invalid geometry")
+	}
+	sets := make([][]Line, cfg.Sets)
+	for i := range sets {
+		sets[i] = make([]Line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets}
+}
+
+func (c *Cache) setOf(l memory.LineAddr) []Line {
+	return c.sets[uint64(l)&uint64(c.cfg.Sets-1)]
+}
+
+// Lookup returns the line holding l, or nil. A hit in the victim buffer
+// counts; the line is not moved (the victim buffer is searched in parallel
+// with the set in hardware).
+func (c *Cache) Lookup(l memory.LineAddr) *Line {
+	set := c.setOf(l)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Tag == l {
+			c.clock++
+			set[i].lru = c.clock
+			return &set[i]
+		}
+	}
+	for i := range c.victim {
+		if c.victim[i].State != Invalid && c.victim[i].Tag == l {
+			return &c.victim[i]
+		}
+	}
+	return nil
+}
+
+// Victimized is a line pushed out of the victim buffer by an Insert; the
+// caller must write back Modified data and spill TMI lines to the overflow
+// table.
+type Victimized struct {
+	Line Line
+}
+
+// Insert places a new line into the cache, evicting as needed. The evicted
+// set line (if any) moves to the victim buffer; anything that falls off the
+// victim buffer is returned for the caller to handle. Insert panics if the
+// line is already present (use Lookup first).
+func (c *Cache) Insert(ln Line) []Victimized {
+	if c.Lookup(ln.Tag) != nil {
+		panic(fmt.Sprintf("cache: Insert of resident line %d", ln.Tag))
+	}
+	c.clock++
+	ln.lru = c.clock
+	set := c.setOf(ln.Tag)
+	// Empty way?
+	for i := range set {
+		if set[i].State == Invalid {
+			set[i] = ln
+			return nil
+		}
+	}
+	// Evict the LRU way to the victim buffer.
+	vi := 0
+	for i := range set {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	evicted := set[vi]
+	set[vi] = ln
+	return c.pushVictim(evicted)
+}
+
+func (c *Cache) pushVictim(ln Line) []Victimized {
+	if c.cfg.VictimSize == 0 && !(c.cfg.UnboundedTMIVictim && ln.State == TMI) {
+		return []Victimized{{Line: ln}}
+	}
+	c.victim = append(c.victim, ln)
+	var out []Victimized
+	if c.cfg.VictimSize >= 0 {
+		over := func() int {
+			n := len(c.victim)
+			if c.cfg.UnboundedTMIVictim {
+				n = 0
+				for _, v := range c.victim {
+					if v.State != TMI {
+						n++
+					}
+				}
+			}
+			return n
+		}
+		for over() > c.cfg.VictimSize {
+			// Spill the oldest evictable entry.
+			for i, v := range c.victim {
+				if !c.cfg.UnboundedTMIVictim || v.State != TMI {
+					out = append(out, Victimized{Line: v})
+					c.victim = append(c.victim[:i], c.victim[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Invalidate drops the line holding l, if present, and returns its prior
+// contents (for writeback decisions).
+func (c *Cache) Invalidate(l memory.LineAddr) (Line, bool) {
+	if ln := c.Lookup(l); ln != nil {
+		old := *ln
+		ln.State = Invalid
+		ln.Alert = false
+		return old, true
+	}
+	return Line{}, false
+}
+
+// FlashCommit applies the CAS-Commit success transition to every line:
+// TMI -> M (speculative data becomes the committed copy) and TI -> I.
+// It returns the lines that were TMI (now M) so the protocol layer can fix
+// up directory ownership.
+func (c *Cache) FlashCommit() []memory.LineAddr {
+	var committed []memory.LineAddr
+	c.forEach(func(ln *Line) {
+		switch ln.State {
+		case TMI:
+			ln.State = Modified
+			committed = append(committed, ln.Tag)
+		case TI:
+			ln.State = Invalid
+		}
+	})
+	return committed
+}
+
+// FlashAbort applies the abort transition to every line: TMI -> I
+// (speculative data discarded) and TI -> I. It returns the number of lines
+// dropped.
+func (c *Cache) FlashAbort() int {
+	n := 0
+	c.forEach(func(ln *Line) {
+		if ln.State.Speculative() {
+			ln.State = Invalid
+			n++
+		}
+	})
+	return n
+}
+
+// TMILines returns the addresses of all TMI lines (used when the OS saves a
+// descheduled transaction's speculative state into its overflow table).
+func (c *Cache) TMILines() []memory.LineAddr {
+	var out []memory.LineAddr
+	c.forEach(func(ln *Line) {
+		if ln.State == TMI {
+			out = append(out, ln.Tag)
+		}
+	})
+	return out
+}
+
+// ClearAlerts drops every A bit (used on abort/commit of the watched word's
+// owner context).
+func (c *Cache) ClearAlerts() {
+	c.forEach(func(ln *Line) { ln.Alert = false })
+}
+
+// Resident returns the number of valid lines (set array + victim buffer).
+func (c *Cache) Resident() int {
+	n := 0
+	c.forEach(func(ln *Line) {
+		if ln.State != Invalid {
+			n++
+		}
+	})
+	return n
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) forEach(f func(*Line)) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			f(&c.sets[si][wi])
+		}
+	}
+	// Compact the victim buffer while visiting it.
+	live := c.victim[:0]
+	for i := range c.victim {
+		f(&c.victim[i])
+		if c.victim[i].State != Invalid {
+			live = append(live, c.victim[i])
+		}
+	}
+	c.victim = live
+}
+
+// TagCache is a tag-only set-associative cache used for the shared L2
+// timing model: it answers hit/miss and tracks evictions but holds no data
+// (data lives in the committed memory image).
+type TagCache struct {
+	sets  [][]tagEntry
+	mask  uint64
+	clock uint64
+}
+
+type tagEntry struct {
+	tag   memory.LineAddr
+	valid bool
+	lru   uint64
+}
+
+// NewTagCache returns a tag cache with the given geometry.
+func NewTagCache(sets, ways int) *TagCache {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("cache: invalid tag cache geometry")
+	}
+	s := make([][]tagEntry, sets)
+	for i := range s {
+		s[i] = make([]tagEntry, ways)
+	}
+	return &TagCache{sets: s, mask: uint64(sets - 1)}
+}
+
+// Touch records an access to line l and reports whether it hit, along with
+// any line evicted to make room.
+func (t *TagCache) Touch(l memory.LineAddr) (hit bool, evicted memory.LineAddr, hasEvicted bool) {
+	t.clock++
+	set := t.sets[uint64(l)&t.mask]
+	for i := range set {
+		if set[i].valid && set[i].tag == l {
+			set[i].lru = t.clock
+			return true, 0, false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = tagEntry{tag: l, valid: true, lru: t.clock}
+			return false, 0, false
+		}
+	}
+	vi := 0
+	for i := range set {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	old := set[vi].tag
+	set[vi] = tagEntry{tag: l, valid: true, lru: t.clock}
+	return false, old, true
+}

@@ -1,0 +1,205 @@
+// Package cm implements contention (conflict) managers. The paper uses the
+// Polka manager of Scherer & Scott for every runtime in its evaluation;
+// Timid, Aggressive, and Karma are provided for ablation studies.
+//
+// A manager is consulted in two situations:
+//
+//   - On an eager conflict (a Threatened or Exposed-Read response): it
+//     decides whether the requestor waits, aborts the enemy, or aborts
+//     itself, and how long to back off before re-examining the conflict.
+//   - Between retries of an aborted transaction: it supplies a back-off
+//     interval to break abort cycles.
+package cm
+
+import "flextm/internal/sim"
+
+// Decision is the manager's verdict on one conflict.
+type Decision int
+
+const (
+	// Wait: back off and re-examine the enemy.
+	Wait Decision = iota
+	// AbortEnemy: abort the conflicting transaction.
+	AbortEnemy
+	// AbortSelf: abort the requesting transaction.
+	AbortSelf
+)
+
+// Conflict describes one conflict event presented to a manager.
+type Conflict struct {
+	Me, Enemy           int // core ids
+	MyKarma, EnemyKarma int // accesses performed by each transaction
+	// MyStamp and EnemyStamp order transactions by age (smaller = older);
+	// zero when the runtime does not track age.
+	MyStamp, EnemyStamp uint64
+	Attempt             int // 0-based count of Wait rounds already spent on this conflict
+}
+
+// Manager decides conflict outcomes.
+type Manager interface {
+	Name() string
+	// OnConflict returns the decision and, for Wait, the back-off length.
+	OnConflict(c Conflict, r *sim.Rand) (Decision, sim.Time)
+	// RetryBackoff returns the delay before re-executing a transaction
+	// that has aborted `aborts` times in a row.
+	RetryBackoff(aborts int, r *sim.Rand) sim.Time
+}
+
+// backoff returns a randomized exponential delay: uniform in
+// [0, base << min(n, cap)).
+func backoff(base sim.Time, n, max int, r *sim.Rand) sim.Time {
+	if n > max {
+		n = max
+	}
+	window := base << uint(n)
+	return sim.Time(r.Intn(int(window) + 1))
+}
+
+// Polka combines Karma's priority accumulation with randomized exponential
+// back-off: a transaction that meets a higher-karma enemy backs off up to
+// the karma difference times with exponentially growing intervals, then
+// aborts the enemy anyway.
+type Polka struct {
+	// Base is the first back-off window (cycles).
+	Base sim.Time
+	// MaxExp caps the exponential growth.
+	MaxExp int
+}
+
+// NewPolka returns a Polka manager with the customary parameters.
+func NewPolka() *Polka { return &Polka{Base: 32, MaxExp: 10} }
+
+// Name implements Manager.
+func (p *Polka) Name() string { return "Polka" }
+
+// OnConflict implements Manager.
+func (p *Polka) OnConflict(c Conflict, r *sim.Rand) (Decision, sim.Time) {
+	diff := c.EnemyKarma - c.MyKarma
+	if c.Attempt >= diff || c.Attempt >= p.MaxExp {
+		return AbortEnemy, 0
+	}
+	return Wait, backoff(p.Base, c.Attempt, p.MaxExp, r)
+}
+
+// RetryBackoff implements Manager.
+func (p *Polka) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	if aborts == 0 {
+		return 0
+	}
+	return backoff(p.Base, aborts, p.MaxExp, r)
+}
+
+// Timid always aborts itself: the simplest livelock-free-under-luck policy
+// (the only one SigTM-style systems can express).
+type Timid struct{}
+
+// Name implements Manager.
+func (Timid) Name() string { return "Timid" }
+
+// OnConflict implements Manager.
+func (Timid) OnConflict(Conflict, *sim.Rand) (Decision, sim.Time) { return AbortSelf, 0 }
+
+// RetryBackoff implements Manager.
+func (Timid) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	return backoff(32, aborts, 10, r)
+}
+
+// Aggressive always aborts the enemy immediately.
+type Aggressive struct{}
+
+// Name implements Manager.
+func (Aggressive) Name() string { return "Aggressive" }
+
+// OnConflict implements Manager.
+func (Aggressive) OnConflict(Conflict, *sim.Rand) (Decision, sim.Time) { return AbortEnemy, 0 }
+
+// RetryBackoff implements Manager.
+func (Aggressive) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	return backoff(32, aborts, 10, r)
+}
+
+// Karma aborts the enemy only once its own karma exceeds the enemy's;
+// otherwise it waits with linear back-off.
+type Karma struct {
+	Base sim.Time
+}
+
+// NewKarma returns a Karma manager.
+func NewKarma() *Karma { return &Karma{Base: 64} }
+
+// Name implements Manager.
+func (k *Karma) Name() string { return "Karma" }
+
+// OnConflict implements Manager.
+func (k *Karma) OnConflict(c Conflict, r *sim.Rand) (Decision, sim.Time) {
+	if c.MyKarma+c.Attempt >= c.EnemyKarma {
+		return AbortEnemy, 0
+	}
+	return Wait, k.Base + sim.Time(r.Intn(int(k.Base)))
+}
+
+// RetryBackoff implements Manager.
+func (k *Karma) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	return backoff(k.Base, aborts, 8, r)
+}
+
+// Greedy approximates the Greedy manager of Guerraoui et al.: the older
+// transaction always wins. An older requestor aborts the enemy at once; a
+// younger one waits, bounded, then aborts itself (preserving the elder).
+type Greedy struct {
+	Base    sim.Time
+	MaxWait int
+}
+
+// NewGreedy returns a Greedy manager.
+func NewGreedy() *Greedy { return &Greedy{Base: 48, MaxWait: 12} }
+
+// Name implements Manager.
+func (g *Greedy) Name() string { return "Greedy" }
+
+// OnConflict implements Manager.
+func (g *Greedy) OnConflict(c Conflict, r *sim.Rand) (Decision, sim.Time) {
+	if c.EnemyStamp == 0 || c.MyStamp <= c.EnemyStamp {
+		return AbortEnemy, 0 // we are older (or age is unknown): we win
+	}
+	if c.Attempt >= g.MaxWait {
+		return AbortSelf, 0
+	}
+	return Wait, g.Base + sim.Time(r.Intn(int(g.Base)))
+}
+
+// RetryBackoff implements Manager.
+func (g *Greedy) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	return backoff(g.Base, aborts, 8, r)
+}
+
+// Timestamp waits for older enemies and aborts younger ones, like Greedy,
+// but keeps waiting indefinitely behind elders (LogTM-style politeness)
+// with a livelock escape after a long patience window.
+type Timestamp struct {
+	Base     sim.Time
+	Patience int
+}
+
+// NewTimestamp returns a Timestamp manager.
+func NewTimestamp() *Timestamp { return &Timestamp{Base: 48, Patience: 30} }
+
+// Name implements Manager.
+func (t *Timestamp) Name() string { return "Timestamp" }
+
+// OnConflict implements Manager.
+func (t *Timestamp) OnConflict(c Conflict, r *sim.Rand) (Decision, sim.Time) {
+	if c.EnemyStamp != 0 && c.MyStamp > c.EnemyStamp {
+		// Enemy is older: defer, eventually yielding entirely.
+		if c.Attempt >= t.Patience {
+			return AbortSelf, 0
+		}
+		return Wait, t.Base + sim.Time(r.Intn(int(t.Base)))
+	}
+	return AbortEnemy, 0
+}
+
+// RetryBackoff implements Manager.
+func (t *Timestamp) RetryBackoff(aborts int, r *sim.Rand) sim.Time {
+	return backoff(t.Base, aborts, 8, r)
+}

@@ -1,0 +1,182 @@
+package cm
+
+import (
+	"testing"
+
+	"flextm/internal/sim"
+)
+
+func TestPolkaAbortsLowerKarmaEnemyImmediately(t *testing.T) {
+	p := NewPolka()
+	r := sim.NewRand(1)
+	dec, _ := p.OnConflict(Conflict{MyKarma: 10, EnemyKarma: 3, Attempt: 0}, r)
+	if dec != AbortEnemy {
+		t.Fatalf("decision = %v, want AbortEnemy against lower-karma enemy", dec)
+	}
+}
+
+func TestPolkaWaitsForHigherKarmaEnemy(t *testing.T) {
+	p := NewPolka()
+	r := sim.NewRand(1)
+	dec, wait := p.OnConflict(Conflict{MyKarma: 1, EnemyKarma: 5, Attempt: 0}, r)
+	if dec != Wait {
+		t.Fatalf("decision = %v, want Wait", dec)
+	}
+	if wait > p.Base {
+		t.Fatalf("first backoff %d exceeds base window %d", wait, p.Base)
+	}
+}
+
+func TestPolkaEventuallyAbortsEnemy(t *testing.T) {
+	p := NewPolka()
+	r := sim.NewRand(1)
+	c := Conflict{MyKarma: 0, EnemyKarma: 1000}
+	for a := 0; a <= p.MaxExp; a++ {
+		c.Attempt = a
+		if dec, _ := p.OnConflict(c, r); dec == AbortEnemy {
+			return
+		}
+	}
+	t.Fatal("Polka never aborted a stubborn enemy (livelock risk)")
+}
+
+func TestPolkaBackoffGrows(t *testing.T) {
+	p := NewPolka()
+	r := sim.NewRand(7)
+	maxAt := func(attempt int) sim.Time {
+		var m sim.Time
+		for i := 0; i < 200; i++ {
+			_, w := p.OnConflict(Conflict{MyKarma: 0, EnemyKarma: 100, Attempt: attempt}, r)
+			if w > m {
+				m = w
+			}
+		}
+		return m
+	}
+	if maxAt(6) <= maxAt(0) {
+		t.Fatal("backoff window does not grow with attempts")
+	}
+}
+
+func TestTimidAlwaysSelf(t *testing.T) {
+	r := sim.NewRand(1)
+	dec, _ := Timid{}.OnConflict(Conflict{MyKarma: 100, EnemyKarma: 0}, r)
+	if dec != AbortSelf {
+		t.Fatalf("Timid decision = %v", dec)
+	}
+}
+
+func TestAggressiveAlwaysEnemy(t *testing.T) {
+	r := sim.NewRand(1)
+	dec, _ := Aggressive{}.OnConflict(Conflict{MyKarma: 0, EnemyKarma: 100}, r)
+	if dec != AbortEnemy {
+		t.Fatalf("Aggressive decision = %v", dec)
+	}
+}
+
+func TestKarmaAccumulatesViaAttempts(t *testing.T) {
+	k := NewKarma()
+	r := sim.NewRand(1)
+	c := Conflict{MyKarma: 2, EnemyKarma: 5}
+	c.Attempt = 0
+	if dec, _ := k.OnConflict(c, r); dec != Wait {
+		t.Fatal("Karma should wait while behind")
+	}
+	c.Attempt = 3
+	if dec, _ := k.OnConflict(c, r); dec != AbortEnemy {
+		t.Fatal("Karma should win after enough attempts")
+	}
+}
+
+func TestRetryBackoffZeroOnFirstAbortForPolka(t *testing.T) {
+	p := NewPolka()
+	r := sim.NewRand(1)
+	if w := p.RetryBackoff(0, r); w != 0 {
+		t.Fatalf("backoff before any abort = %d", w)
+	}
+}
+
+func TestManagerNames(t *testing.T) {
+	for _, m := range []Manager{NewPolka(), Timid{}, Aggressive{}, NewKarma()} {
+		if m.Name() == "" {
+			t.Fatal("empty manager name")
+		}
+	}
+}
+
+func TestGreedyOlderWins(t *testing.T) {
+	g := NewGreedy()
+	r := sim.NewRand(1)
+	if dec, _ := g.OnConflict(Conflict{MyStamp: 5, EnemyStamp: 9}, r); dec != AbortEnemy {
+		t.Fatal("older requestor should abort younger enemy")
+	}
+	if dec, _ := g.OnConflict(Conflict{MyStamp: 9, EnemyStamp: 5}, r); dec != Wait {
+		t.Fatal("younger requestor should wait for the elder")
+	}
+	if dec, _ := g.OnConflict(Conflict{MyStamp: 9, EnemyStamp: 5, Attempt: 99}, r); dec != AbortSelf {
+		t.Fatal("younger requestor should eventually yield")
+	}
+	if dec, _ := g.OnConflict(Conflict{MyStamp: 9, EnemyStamp: 0}, r); dec != AbortEnemy {
+		t.Fatal("unknown enemy age: requestor wins")
+	}
+}
+
+func TestTimestampPoliteness(t *testing.T) {
+	ts := NewTimestamp()
+	r := sim.NewRand(1)
+	if dec, _ := ts.OnConflict(Conflict{MyStamp: 9, EnemyStamp: 5, Attempt: 3}, r); dec != Wait {
+		t.Fatal("younger should wait behind elder")
+	}
+	if dec, _ := ts.OnConflict(Conflict{MyStamp: 9, EnemyStamp: 5, Attempt: 100}, r); dec != AbortSelf {
+		t.Fatal("patience must be bounded")
+	}
+	if dec, _ := ts.OnConflict(Conflict{MyStamp: 5, EnemyStamp: 9}, r); dec != AbortEnemy {
+		t.Fatal("older should abort younger")
+	}
+}
+
+func TestRetryBackoffGrowsForAllManagers(t *testing.T) {
+	r := sim.NewRand(5)
+	for _, m := range []Manager{NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp()} {
+		maxAt := func(aborts int) sim.Time {
+			var mx sim.Time
+			for i := 0; i < 200; i++ {
+				if w := m.RetryBackoff(aborts, r); w > mx {
+					mx = w
+				}
+			}
+			return mx
+		}
+		if maxAt(6) <= maxAt(1)/2 {
+			t.Errorf("%s: backoff window does not grow (1 abort max %d, 6 aborts max %d)",
+				m.Name(), maxAt(1), maxAt(6))
+		}
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	r := sim.NewRand(5)
+	p := NewPolka()
+	// Far past MaxExp the window must stop growing.
+	a := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		if w := p.RetryBackoff(100, r); w > a {
+			a = w
+		}
+	}
+	if a > p.Base<<uint(p.MaxExp) {
+		t.Fatalf("backoff %d exceeds capped window %d", a, p.Base<<uint(p.MaxExp))
+	}
+}
+
+func TestAllManagersHandleZeroKarma(t *testing.T) {
+	r := sim.NewRand(9)
+	for _, m := range []Manager{NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp()} {
+		// Must return a valid decision without panicking on zero-value input.
+		dec, wait := m.OnConflict(Conflict{}, r)
+		if dec != Wait && dec != AbortEnemy && dec != AbortSelf {
+			t.Errorf("%s: invalid decision %v", m.Name(), dec)
+		}
+		_ = wait
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flextm/internal/cache"
+	"flextm/internal/cm"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// TestChaosConservation is a randomized stress test: threads run a mix of
+// transfer transactions, read-only sum checks, nested transactions, plain
+// (non-transactional) accesses to private slots, and user aborts, across
+// eager/lazy modes, several contention managers, and a tiny cache that
+// forces overflow. The invariants:
+//
+//  1. the shared-account total is conserved,
+//  2. every read-only sum observed inside a transaction is consistent,
+//  3. private slots are exactly what their owner last wrote.
+func TestChaosConservation(t *testing.T) {
+	const cells, threads, rounds, initial = 10, 7, 60, 100
+	managers := []cm.Manager{cm.NewPolka(), cm.Timid{}, cm.Aggressive{}}
+	for _, mode := range []Mode{Eager, Lazy} {
+		for mi, mgr := range managers {
+			for seed := uint64(1); seed <= 3; seed++ {
+				name := fmt.Sprintf("%v/%s/seed%d", mode, mgr.Name(), seed)
+				cfg := tmesi.DefaultConfig()
+				cfg.Cores = threads
+				cfg.L1 = cache.Config{Sets: 8, Ways: 2, VictimSize: 4}
+				sys := tmesi.New(cfg)
+				rt := New(sys, mode, mgr)
+				base := sys.Alloc().Alloc(cells * memory.LineWords)
+				cell := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
+				for i := 0; i < cells; i++ {
+					sys.Image().WriteWord(cell(i), initial)
+				}
+				private := sys.Alloc().Alloc(threads * memory.LineWords)
+
+				e := sim.NewEngine()
+				var badSum bool
+				for ti := 0; ti < threads; ti++ {
+					id := ti
+					e.Spawn("chaos", 0, func(ctx *sim.Ctx) {
+						th := rt.Bind(ctx, id)
+						r := sim.NewRand(seed*1000 + uint64(mi*100+id))
+						for n := 0; n < rounds; n++ {
+							switch r.Intn(5) {
+							case 0: // transfer
+								from, to := r.Intn(cells), r.Intn(cells)
+								amt := uint64(r.Intn(5))
+								th.Atomic(func(tx tmapi.Txn) {
+									f := tx.Load(cell(from))
+									if f < amt {
+										return
+									}
+									tx.Store(cell(from), f-amt)
+									tx.Store(cell(to), tx.Load(cell(to))+amt)
+								})
+							case 1: // read-only audit
+								var total uint64
+								th.Atomic(func(tx tmapi.Txn) {
+									total = 0
+									for i := 0; i < cells; i++ {
+										total += tx.Load(cell(i))
+									}
+								})
+								if total != cells*initial {
+									badSum = true
+								}
+							case 2: // nested transfer with occasional user abort
+								from, to := r.Intn(cells), r.Intn(cells)
+								skip := r.Intn(4) == 0
+								th.Atomic(func(tx tmapi.Txn) {
+									f := tx.Load(cell(from))
+									if f == 0 {
+										return
+									}
+									tx.Store(cell(from), f-1)
+									th.Atomic(func(inner tmapi.Txn) {
+										if skip {
+											skip = false
+											inner.Abort()
+										}
+										inner.Store(cell(to), inner.Load(cell(to))+1)
+									})
+								})
+							case 3: // plain private access (strong isolation side)
+								p := private + memory.Addr(id*memory.LineWords)
+								th.Store(p, th.Load(p)+1)
+							default: // compute
+								th.Work(sim.Time(r.Intn(500)))
+							}
+						}
+					})
+				}
+				if blocked := e.Run(); blocked != 0 {
+					t.Fatalf("%s: %d threads blocked", name, blocked)
+				}
+				if badSum {
+					t.Fatalf("%s: a read-only audit observed an inconsistent total", name)
+				}
+				var total uint64
+				for i := 0; i < cells; i++ {
+					total += sys.ReadWordRaw(cell(i))
+				}
+				if total != cells*initial {
+					t.Fatalf("%s: total = %d, want %d", name, total, cells*initial)
+				}
+			}
+		}
+	}
+}

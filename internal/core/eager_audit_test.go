@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flextm/internal/cm"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// TestEagerAuditConsistency is a regression test for a sticky-sharer bug:
+// a read miss on a line held only in a remote transaction's *signature*
+// (its cached copy silently dropped) must not be granted Exclusive, or a
+// later silent E->TMI upgrade skips conflict detection and a read-only
+// audit can commit an inconsistent snapshot.
+func TestEagerAuditConsistency(t *testing.T) {
+	const accounts, initial = 16, 1000
+	for seed := 0; seed < 30; seed++ {
+		sys := tmesi.New(testCfg())
+		rt := New(sys, Eager, cm.NewPolka())
+		base := sys.Alloc().Alloc(accounts * memory.LineWords)
+		acct := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
+		for i := 0; i < accounts; i++ {
+			sys.Image().WriteWord(acct(i), initial)
+		}
+		e := sim.NewEngine()
+		var bad []string
+		for tid := 0; tid < 6; tid++ {
+			id := tid
+			e.Spawn("w", 0, func(ctx *sim.Ctx) {
+				th := rt.Bind(ctx, id)
+				r := sim.NewRand(uint64(seed*100 + id + 1))
+				for n := 0; n < 60; n++ {
+					if id == 0 {
+						var total uint64
+						th.Atomic(func(tx tmapi.Txn) {
+							total = 0
+							for i := 0; i < accounts; i++ {
+								total += tx.Load(acct(i))
+							}
+						})
+						if total != accounts*initial {
+							bad = append(bad, fmt.Sprintf("seed=%d n=%d total=%d", seed, n, total))
+						}
+					} else {
+						from, to := r.Intn(accounts), r.Intn(accounts)
+						amt := uint64(1 + r.Intn(50))
+						th.Atomic(func(tx tmapi.Txn) {
+							f := tx.Load(acct(from))
+							if f < amt {
+								return
+							}
+							tx.Store(acct(from), f-amt)
+							tx.Store(acct(to), tx.Load(acct(to))+amt)
+						})
+					}
+				}
+			})
+		}
+		e.Run()
+		if len(bad) > 0 {
+			t.Fatalf("inconsistent audits: %v", bad[:1])
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package core implements the FlexTM runtime: the software side of the
+// paper's contribution. It drives the decoupled hardware primitives of
+// internal/tmesi — signatures, conflict summary tables, programmable data
+// isolation, alert-on-update, and overflow tables — under software-chosen
+// policy: eager or lazy conflict management with a pluggable contention
+// manager.
+//
+// Each transaction is represented by a descriptor (Table 1 of the paper)
+// whose transaction status word (TSW) lives in simulated memory, is ALoaded
+// for abort notification, and is advertised in a per-processor table so
+// enemies can abort it with an ordinary CAS. Commit follows Figure 3: in
+// lazy mode the committer copy-and-clears its W-R and W-W CSTs, aborts
+// exactly those processors, and CAS-Commits its own TSW — an entirely local
+// protocol with no tokens, broadcasts, or ticket serialization.
+package core
+
+import (
+	"fmt"
+
+	"flextm/internal/cm"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+	"flextm/internal/trace"
+)
+
+// TSW values. A fresh slot is zero (invalid), so stale CAS attempts from
+// old conflicts fail harmlessly.
+const (
+	TSWInvalid   = 0
+	TSWActive    = 1
+	TSWCommitted = 2
+	TSWAborted   = 3
+)
+
+// Mode selects when conflicts are managed (Section 3.6).
+type Mode int
+
+const (
+	// Eager: the conflict manager runs as soon as a Threatened or
+	// Exposed-Read response arrives.
+	Eager Mode = iota
+	// Lazy: conflicts accumulate in the CSTs and are resolved locally at
+	// commit time (Figure 3).
+	Lazy
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == Eager {
+		return "Eager"
+	}
+	return "Lazy"
+}
+
+// Costs are the software overheads charged by the runtime, in cycles.
+type Costs struct {
+	Begin     sim.Time // register checkpoint + descriptor setup
+	CMInvoke  sim.Time // conflict-manager handler entry
+	AbortWork sim.Time // abort handler software path
+	CSTWrite  sim.Time // software write of a remote CST register
+}
+
+// DefaultCosts reflect the paper's observation that FlexTM's main software
+// overhead is register checkpointing (spilling locals to the stack).
+func DefaultCosts() Costs {
+	return Costs{Begin: 40, CMInvoke: 20, AbortWork: 30, CSTWrite: 6}
+}
+
+// tswSlots is the number of status-word lines in each thread's arena.
+// Fresh TSWs per transaction make stale enemy CASes miss by construction.
+const tswSlots = 64
+
+// desc is a transaction descriptor (Table 1). Policy-relevant fields are
+// mirrored in Go for speed; the TSW itself lives in simulated memory.
+type desc struct {
+	tsw   memory.Addr
+	karma int    // accesses so far (contention-manager priority)
+	stamp uint64 // age: assigned at the transaction's first attempt
+	live  bool
+}
+
+// Runtime is a FlexTM instance over one simulated machine.
+type Runtime struct {
+	sys       *tmesi.System
+	mode      Mode
+	mgr       cm.Manager
+	costs     Costs
+	cleanWR   bool // scrub own bit from enemies' W-R after commit (Section 3.6)
+	sigScreen bool // verify enemy signatures still intersect before aborting
+
+	tswTable memory.Addr // per-core line holding the current TSW address
+	arenas   [][]memory.Addr
+	arenaIdx []int
+	current  []*desc
+	stats    []tmapi.Stats
+	ageClock uint64
+
+	// OnAbortYield, if set, runs in the aborted thread before its retry
+	// back-off; the multiprogramming experiment (Figure 5e,f) uses it to
+	// donate the CPU to background work.
+	OnAbortYield func(th *Thread)
+
+	// Tracer, if set, records transaction-level events for post-mortem
+	// analysis (see internal/trace).
+	Tracer *trace.Recorder
+
+	onAbortEnemy func(th *Thread, enemy int)
+}
+
+// New returns a FlexTM runtime in the given mode using manager mgr.
+func New(sys *tmesi.System, mode Mode, mgr cm.Manager) *Runtime {
+	cores := sys.Config().Cores
+	rt := &Runtime{
+		sys:       sys,
+		mode:      mode,
+		mgr:       mgr,
+		costs:     DefaultCosts(),
+		cleanWR:   true,
+		sigScreen: true,
+		arenas:    make([][]memory.Addr, cores),
+		arenaIdx:  make([]int, cores),
+		current:   make([]*desc, cores),
+		stats:     make([]tmapi.Stats, cores),
+	}
+	rt.tswTable = sys.Alloc().Alloc(cores * memory.LineWords)
+	for c := 0; c < cores; c++ {
+		slots := make([]memory.Addr, tswSlots)
+		for i := range slots {
+			slots[i] = sys.Alloc().Alloc(memory.LineWords)
+		}
+		rt.arenas[c] = slots
+	}
+	sys.SetStrongIsolationHook(func(victim int) {
+		d := rt.current[victim]
+		if d != nil && d.live && sys.TxnActive(victim) {
+			sys.ForceWord(d.tsw, TSWAborted)
+		}
+	})
+	return rt
+}
+
+// Name implements tmapi.Runtime.
+func (rt *Runtime) Name() string {
+	return fmt.Sprintf("FlexTM(%s)", rt.mode)
+}
+
+// Mode returns the conflict-management mode.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// System returns the underlying memory system.
+func (rt *Runtime) System() *tmesi.System { return rt.sys }
+
+// SetCosts overrides the software cost model.
+func (rt *Runtime) SetCosts(c Costs) { rt.costs = c }
+
+// SetCleanWR toggles the paper's spurious-abort avoidance (a committer
+// scrubs its bit from the W-R register of everyone in its R-W).
+func (rt *Runtime) SetCleanWR(on bool) { rt.cleanWR = on }
+
+// SetSigScreen toggles the commit-time signature screen: before aborting an
+// enemy processor, verify its current (software-visible) signatures still
+// intersect our write set; a provably-disjoint enemy is a successor of the
+// transaction that actually conflicted and is spared. Sound because the
+// CAS-Commit CST check catches any conflict that arrives after the screen.
+func (rt *Runtime) SetSigScreen(on bool) { rt.sigScreen = on }
+
+// Bind implements tmapi.Runtime.
+func (rt *Runtime) Bind(ctx *sim.Ctx, core int) tmapi.Thread {
+	return rt.BindThread(ctx, core)
+}
+
+// BindThread is Bind with a concrete return type, for callers that need
+// FlexTM-specific controls.
+func (rt *Runtime) BindThread(ctx *sim.Ctx, core int) *Thread {
+	return &Thread{
+		rt:   rt,
+		ctx:  ctx,
+		core: core,
+		rnd:  sim.NewRand(uint64(core)*0x9E3779B9 + 0x1234567),
+	}
+}
+
+// Stats implements tmapi.Runtime.
+func (rt *Runtime) Stats() tmapi.Stats {
+	var total tmapi.Stats
+	for i := range rt.stats {
+		total.Commits += rt.stats[i].Commits
+		total.Aborts += rt.stats[i].Aborts
+		total.ConflictDegrees = append(total.ConflictDegrees, rt.stats[i].ConflictDegrees...)
+	}
+	return total
+}
+
+// tswEntry returns the address of core's slot in the TSW table.
+func (rt *Runtime) tswEntry(core int) memory.Addr {
+	return rt.tswTable + memory.Addr(core*memory.LineWords)
+}
+
+// nextTSW returns a fresh status-word address for core.
+func (rt *Runtime) nextTSW(core int) memory.Addr {
+	i := rt.arenaIdx[core]
+	rt.arenaIdx[core] = (i + 1) % tswSlots
+	return rt.arenas[core][i]
+}
+
+// karmaOf returns the contention-manager priority of the transaction
+// currently on core (0 if none).
+func (rt *Runtime) karmaOf(core int) int {
+	if d := rt.current[core]; d != nil && d.live {
+		return d.karma
+	}
+	return 0
+}
+
+// stampOf returns the age stamp of the transaction on core (0 if none).
+func (rt *Runtime) stampOf(core int) uint64 {
+	if d := rt.current[core]; d != nil && d.live {
+		return d.stamp
+	}
+	return 0
+}
+
+// OnAbortEnemy, if set, runs whenever a thread aborts the transaction on an
+// enemy core (eager arbitration or the lazy commit loop). The OS model uses
+// it to peruse its conflict management table and also abort *suspended*
+// transactions that were executing on that core (Section 5).
+func (rt *Runtime) SetOnAbortEnemy(h func(th *Thread, enemy int)) { rt.onAbortEnemy = h }
+
+// CurrentTSW returns the status-word address of the transaction currently
+// live on core, or 0 when the core is between transactions. The OS uses it
+// when suspending a thread.
+func (rt *Runtime) CurrentTSW(core int) memory.Addr {
+	if d := rt.current[core]; d != nil && d.live {
+		return d.tsw
+	}
+	return 0
+}
+
+// TxnHandle is an opaque reference to a live transaction's descriptor, used
+// by the OS model to detach a suspended transaction from its core and
+// re-attach it on resume (another thread may run transactions on the core
+// in between).
+type TxnHandle struct {
+	d *desc
+}
+
+// Valid reports whether the handle references a live transaction.
+func (h TxnHandle) Valid() bool { return h.d != nil && h.d.live }
+
+// DetachTxn captures the live transaction on core (without clearing it);
+// returns an invalid handle if none.
+func (rt *Runtime) DetachTxn(core int) TxnHandle {
+	if d := rt.current[core]; d != nil && d.live {
+		return TxnHandle{d: d}
+	}
+	return TxnHandle{}
+}
+
+// AttachTxn re-advertises a detached transaction as the one running on
+// core: the per-processor descriptor table again names its TSW, so enemies
+// can abort it. ctx is charged for the table update.
+func (rt *Runtime) AttachTxn(ctx *sim.Ctx, core int, h TxnHandle) {
+	if !h.Valid() {
+		return
+	}
+	rt.current[core] = h.d
+	rt.sys.Store(ctx, core, rt.tswEntry(core), uint64(h.d.tsw))
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"flextm/internal/cm"
+	"flextm/internal/cst"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+	"flextm/internal/trace"
+)
+
+// Thread is one application thread under the FlexTM runtime.
+type Thread struct {
+	rt    *Runtime
+	ctx   *sim.Ctx
+	core  int
+	rnd   *sim.Rand
+	depth int
+	d     *desc
+
+	consecAborts int
+}
+
+// Core implements tmapi.Thread.
+func (th *Thread) Core() int { return th.core }
+
+// Ctx implements tmapi.Thread.
+func (th *Thread) Ctx() *sim.Ctx { return th.ctx }
+
+// Rand implements tmapi.Thread.
+func (th *Thread) Rand() *sim.Rand { return th.rnd }
+
+// Work implements tmapi.Thread.
+func (th *Thread) Work(d sim.Time) { th.ctx.Advance(d) }
+
+// Load implements tmapi.Thread: an ordinary, non-transactional load.
+func (th *Thread) Load(a memory.Addr) uint64 {
+	v := th.rt.sys.Load(th.ctx, th.core, a).Val
+	th.checkAlert()
+	return v
+}
+
+// Store implements tmapi.Thread: an ordinary, non-transactional store.
+func (th *Thread) Store(a memory.Addr, v uint64) {
+	th.rt.sys.Store(th.ctx, th.core, a, v)
+	th.checkAlert()
+}
+
+// Atomic implements tmapi.Thread. It retries body until a commit succeeds,
+// backing off between attempts per the contention manager. Nested calls
+// are subsumed into the outermost transaction.
+func (th *Thread) Atomic(body func(tmapi.Txn)) {
+	if th.depth > 0 {
+		th.depth++
+		defer func() { th.depth-- }()
+		body(txnView{th})
+		return
+	}
+	stamp := uint64(0)
+	for {
+		if stamp == 0 {
+			th.rt.ageClock++
+			stamp = th.rt.ageClock
+		}
+		if th.attempt(stamp, body) {
+			th.consecAborts = 0
+			return
+		}
+		th.rt.stats[th.core].Aborts++
+		th.consecAborts++
+		if y := th.rt.OnAbortYield; y != nil {
+			y(th)
+		}
+		th.ctx.Advance(th.rt.mgr.RetryBackoff(th.consecAborts, th.rnd))
+	}
+}
+
+// attempt begins a transaction and runs body once, converting abort panics
+// into a false return. begin itself runs inside the recovered region: an
+// enemy (or the OS, across a context switch) can abort us before the first
+// body operation.
+func (th *Thread) attempt(stamp uint64, body func(tmapi.Txn)) (committed bool) {
+	th.depth = 1
+	defer func() {
+		th.depth = 0
+		if r := recover(); r != nil {
+			if _, ok := r.(tmapi.AbortError); !ok {
+				panic(r)
+			}
+			th.onAbort()
+		}
+	}()
+	th.begin(stamp)
+	body(txnView{th})
+	th.commit()
+	return true
+}
+
+// begin implements BEGIN_TRANSACTION: fresh descriptor, TSW set to active
+// and advertised, TSW ALoaded for abort notification, hardware transaction
+// mode on, registers checkpointed.
+func (th *Thread) begin(stamp uint64) {
+	rt, sys := th.rt, th.rt.sys
+	d := &desc{tsw: rt.nextTSW(th.core), stamp: stamp, live: true}
+	th.d = d
+	debugf("t=%d c=%d BEGIN tsw=%d", th.ctx.Now(), th.core, d.tsw)
+	sys.Store(th.ctx, th.core, d.tsw, TSWActive)
+	sys.ALoad(th.ctx, th.core, d.tsw)
+	rt.current[th.core] = d
+	sys.BeginTxn(th.core)
+	// Advertise the descriptor last: each step above can be interrupted by
+	// a context switch, and once this registration is visible the OS's
+	// suspend/resume (DetachTxn/AttachTxn) keeps it coherent. Publishing it
+	// earlier risks another thread's transactions on this core overwriting
+	// the entry while we are parked mid-begin, leaving enemies to CAS a
+	// stale status word that can never read "active".
+	sys.Store(th.ctx, th.core, rt.tswEntry(th.core), uint64(d.tsw))
+	th.ctx.Advance(rt.costs.Begin)
+	th.emit(trace.Begin, -1)
+	// A strong-isolation abort can race with begin; surface it now.
+	th.checkAlert()
+}
+
+// onAbort is the abort handler: it flash-discards speculative state (if the
+// CAS-Commit failure path has not already) and clears the descriptor.
+func (th *Thread) onAbort() {
+	sys := th.rt.sys
+	th.emit(trace.Abort, -1)
+	debugf("t=%d c=%d ABORT", th.ctx.Now(), th.core)
+	th.d.live = false
+	if sys.TxnActive(th.core) {
+		sys.AbortFlash(th.ctx, th.core)
+	}
+	th.ctx.Advance(th.rt.costs.AbortWork)
+}
+
+// abortPanic unwinds the current transaction body.
+func abortPanic() { panic(tmapi.AbortError{}) }
+
+// checkAlert polls for AOU alerts at an operation boundary. An alert on the
+// TSW line means an enemy (or a strong-isolation access) wrote our status
+// word: if it says aborted, unwind. Other alerts (line eviction) re-ALoad.
+func (th *Thread) checkAlert() {
+	sys := th.rt.sys
+	line, ok := sys.TakeAlert(th.core)
+	if !ok {
+		return
+	}
+	if th.d == nil || !th.d.live {
+		return
+	}
+	if sys.ReadWordRaw(th.d.tsw) == TSWAborted {
+		abortPanic()
+	}
+	if line == th.d.tsw.Line() {
+		// Spurious (capacity) alert: re-arm without recursing into the
+		// alert check.
+		sys.ALoad(th.ctx, th.core, th.d.tsw)
+	}
+}
+
+// txnView adapts a Thread to tmapi.Txn with transactional semantics.
+type txnView struct{ th *Thread }
+
+// Load implements tmapi.Txn.
+func (t txnView) Load(a memory.Addr) uint64 {
+	th := t.th
+	res := th.rt.sys.TLoad(th.ctx, th.core, a)
+	debugf("t=%d c=%d TLoad %d = %d conf=%v", th.ctx.Now(), th.core, a, res.Val, res.Conflicts)
+	th.d.karma++
+	th.checkAlert()
+	if th.rt.mode == Eager && len(res.Conflicts) > 0 {
+		th.manageEager(res.Conflicts)
+	}
+	return res.Val
+}
+
+// Store implements tmapi.Txn.
+func (t txnView) Store(a memory.Addr, v uint64) {
+	th := t.th
+	res := th.rt.sys.TStore(th.ctx, th.core, a, v)
+	debugf("t=%d c=%d TStore %d <- %d conf=%v", th.ctx.Now(), th.core, a, v, res.Conflicts)
+	th.d.karma++
+	th.checkAlert()
+	if th.rt.mode == Eager && len(res.Conflicts) > 0 {
+		th.manageEager(res.Conflicts)
+	}
+}
+
+// Abort implements tmapi.Txn.
+func (t txnView) Abort() { panic(tmapi.AbortError{UserRequested: true}) }
+
+// manageEager resolves freshly-reported conflicts immediately: the
+// processor has effected a subroutine call to the CMPC handler.
+func (th *Thread) manageEager(conflicts []tmesi.Conflict) {
+	for _, c := range conflicts {
+		th.resolveConflict(c)
+	}
+}
+
+// resolveConflict runs the contention manager on one conflict until the
+// enemy is gone (aborted, committed, or we abort ourselves).
+func (th *Thread) resolveConflict(c tmesi.Conflict) {
+	rt := th.rt
+	th.ctx.Advance(rt.costs.CMInvoke)
+	if c.Suspended {
+		// Conflict with a descheduled transaction, surfaced by the summary
+		// signatures; the OS-level handler (internal/osmodel) has already
+		// arbitrated it. Nothing to do at user level.
+		return
+	}
+	for attempt := 0; ; attempt++ {
+		dec, wait := rt.mgr.OnConflict(cm.Conflict{
+			Me:         th.core,
+			Enemy:      c.Responder,
+			MyKarma:    th.d.karma,
+			EnemyKarma: rt.karmaOf(c.Responder),
+			MyStamp:    th.d.stamp,
+			EnemyStamp: rt.stampOf(c.Responder),
+			Attempt:    attempt,
+		}, th.rnd)
+		switch dec {
+		case cm.AbortSelf:
+			th.emit(trace.ConflictAbortSelf, c.Responder)
+			abortPanic()
+		case cm.AbortEnemy:
+			th.emit(trace.ConflictAbortEnemy, c.Responder)
+			debugf("t=%d c=%d CM abort-enemy %d", th.ctx.Now(), th.core, c.Responder)
+			th.abortRemote(c.Responder)
+			if h := rt.onAbortEnemy; h != nil {
+				h(th, c.Responder)
+			}
+			th.clearLocalCST(c.Responder)
+			return
+		case cm.Wait:
+			th.ctx.Advance(wait)
+			status := th.enemyStatus(c.Responder)
+			switch status {
+			case TSWActive:
+				// Still there: loop for another round.
+			case TSWCommitted:
+				if c.Msg == tmesi.Threatened {
+					// The enemy's speculative write of a line we accessed
+					// just committed: our copy is stale, we must restart.
+					abortPanic()
+				}
+				// Exposed-Read enemy committed having read the old value:
+				// it serialized before us; we may proceed.
+				th.clearLocalCST(c.Responder)
+				return
+			default: // aborted or gone
+				th.clearLocalCST(c.Responder)
+				return
+			}
+		}
+	}
+}
+
+// enemyStatus reads the status word of the transaction currently on core
+// enemy via the per-processor descriptor table (ordinary loads).
+func (th *Thread) enemyStatus(enemy int) uint64 {
+	rt, sys := th.rt, th.rt.sys
+	tswAddr := sys.Load(th.ctx, th.core, rt.tswEntry(enemy)).Val
+	th.checkAlert()
+	if tswAddr == 0 {
+		return TSWInvalid
+	}
+	v := sys.Load(th.ctx, th.core, memory.Addr(tswAddr)).Val
+	th.checkAlert()
+	return v
+}
+
+// abortRemote aborts the transaction running on core enemy by CASing its
+// TSW from active to aborted (Figure 3, line 3). Coherence serializes this
+// against the enemy's own CAS-Commit.
+func (th *Thread) abortRemote(enemy int) {
+	rt, sys := th.rt, th.rt.sys
+	tswAddr := sys.Load(th.ctx, th.core, rt.tswEntry(enemy)).Val
+	th.checkAlert()
+	if tswAddr == 0 {
+		return
+	}
+	res, ok := sys.CAS(th.ctx, th.core, memory.Addr(tswAddr), TSWActive, TSWAborted)
+	debugf("t=%d c=%d abortRemote(%d) tsw=%d ok=%v cur=%d", th.ctx.Now(), th.core, enemy, tswAddr, ok, res.Val)
+	th.checkAlert()
+}
+
+// clearLocalCST drops this core's conflict bits for enemy after the
+// conflict has been resolved, so a clean CAS-Commit can proceed.
+func (th *Thread) clearLocalCST(enemy int) {
+	t := th.rt.sys.CST(th.core)
+	t.Get(cst.WR).Clear(enemy)
+	t.Get(cst.WW).Clear(enemy)
+	t.Get(cst.RW).Clear(enemy)
+}
+
+// commit implements END_TRANSACTION via the Commit() routine of Figure 3.
+// Eager transactions normally find empty CSTs and just CAS-Commit; lazy
+// transactions abort their W-R and W-W sets first. The loop handles
+// conflicts that arrive concurrently with committing.
+func (th *Thread) commit() {
+	rt, sys := th.rt, th.rt.sys
+	var resolved cst.Vec
+	for {
+		table := sys.CST(th.core)
+		wr := table.Get(cst.WR).CopyAndClear()
+		ww := table.Get(cst.WW).CopyAndClear()
+		rw := *table.Get(cst.RW)
+		enemies := wr | ww
+		for _, e := range enemies.Procs() {
+			resolved.Set(e)
+			// Signature screen: CST bits name processors, so a bit may
+			// refer to a transaction that already finished. The enemy's
+			// current signatures are software-visible registers; if they
+			// provably do not intersect our write set, the conflicting
+			// incarnation is gone and the abort would hit an innocent
+			// successor. Skipping is sound: if the enemy touches our
+			// write set after this check, the hardware re-sets our CST
+			// bit and the CAS-Commit below fails, re-running this loop.
+			if rt.sigScreen && sys.TxnActive(e) &&
+				!sys.Rsig(e).Intersects(sys.Wsig(th.core)) &&
+				!sys.Wsig(e).Intersects(sys.Wsig(th.core)) {
+				th.ctx.Advance(rt.costs.CSTWrite) // register reads + AND
+				continue
+			}
+			th.abortRemote(e)
+			if h := rt.onAbortEnemy; h != nil {
+				h(th, e)
+			}
+		}
+		out := sys.CASCommit(th.ctx, th.core, th.d.tsw, TSWActive, TSWCommitted)
+		debugf("t=%d c=%d CASCommit -> %d (resolved=%v)", th.ctx.Now(), th.core, out, resolved.Procs())
+		switch out {
+		case tmesi.CommitOK:
+			th.d.live = false
+			th.emit(trace.Commit, -1)
+			st := &rt.stats[th.core]
+			st.Commits++
+			st.ConflictDegrees = append(st.ConflictDegrees, resolved.Count())
+			if rt.cleanWR {
+				// Scrub our bit from the W-R of everyone whose write we
+				// read, so their commits do not spuriously abort our next
+				// transaction (Section 3.6).
+				for _, x := range rw.Procs() {
+					sys.CST(x).Get(cst.WR).Clear(th.core)
+					th.ctx.Advance(rt.costs.CSTWrite)
+				}
+			}
+			return
+		case tmesi.CommitAborted:
+			// Speculative state already flash-discarded by the hardware.
+			abortPanic()
+		case tmesi.CommitCSTFail:
+			// New conflicts arrived between lines 1-3 and the CAS-Commit:
+			// go around again (Figure 3, line 5).
+		}
+	}
+}
+
+// TraceFn, when non-nil, receives free-form runtime debug lines.
+var TraceFn func(format string, args ...interface{})
+
+func debugf(format string, args ...interface{}) {
+	if TraceFn != nil {
+		TraceFn(format, args...)
+	}
+}
+
+// emit records a structured event on the runtime's tracer, if any.
+func (th *Thread) emit(k trace.Kind, enemy int) {
+	if rec := th.rt.Tracer; rec != nil {
+		rec.Add(trace.Event{At: th.ctx.Now(), Core: th.core, Kind: k, Enemy: enemy})
+	}
+}
+
+// ClosedNested runs body as a closed-nested transaction inside the current
+// one (an extension beyond the paper's subsumption model, which it lists as
+// future work). The runtime value-logs the inner transaction's writes (old
+// speculative values via TLoad) and, when body calls Abort, rolls back only
+// those writes and retries body alone. Conflict-induced aborts still unwind
+// the whole (flattened) transaction: the hardware has a single checkpoint.
+// Calling ClosedNested outside a transaction is equivalent to Atomic.
+func (th *Thread) ClosedNested(body func(tx tmapi.Txn)) {
+	if th.depth == 0 {
+		th.Atomic(body)
+		return
+	}
+	th.depth++
+	defer func() { th.depth-- }()
+	for {
+		inner := &nestedTxn{th: th, old: make(map[memory.Addr]uint64)}
+		if th.runNested(inner, body) {
+			return
+		}
+		// Inner-only rollback: restore the old speculative values in
+		// reverse write order, then retry the inner body.
+		for i := len(inner.order) - 1; i >= 0; i-- {
+			a := inner.order[i]
+			th.rt.sys.TStore(th.ctx, th.core, a, inner.old[a])
+		}
+		th.ctx.Advance(th.rt.costs.AbortWork)
+	}
+}
+
+// runNested executes body once, catching only user-requested aborts.
+func (th *Thread) runNested(inner *nestedTxn, body func(tx tmapi.Txn)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ae, isAbort := r.(tmapi.AbortError)
+			if !isAbort || !ae.UserRequested {
+				panic(r) // conflict aborts unwind the outer transaction
+			}
+		}
+	}()
+	body(inner)
+	return true
+}
+
+// nestedTxn is the inner transaction's view: reads pass through; writes are
+// value-logged on first touch so they can be undone individually.
+type nestedTxn struct {
+	th    *Thread
+	old   map[memory.Addr]uint64
+	order []memory.Addr
+}
+
+// Load implements tmapi.Txn.
+func (n *nestedTxn) Load(a memory.Addr) uint64 { return txnView{n.th}.Load(a) }
+
+// Store implements tmapi.Txn.
+func (n *nestedTxn) Store(a memory.Addr, v uint64) {
+	if _, seen := n.old[a]; !seen {
+		// First inner write: remember the outer speculative value.
+		n.old[a] = n.th.rt.sys.TLoad(n.th.ctx, n.th.core, a).Val
+		n.order = append(n.order, a)
+	}
+	txnView{n.th}.Store(a, v)
+}
+
+// Abort implements tmapi.Txn: abort and retry only the inner transaction.
+func (n *nestedTxn) Abort() { panic(tmapi.AbortError{UserRequested: true}) }

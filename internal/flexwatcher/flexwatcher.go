@@ -1,0 +1,258 @@
+// Package flexwatcher implements FlexWatcher (Section 8 of the paper): a
+// memory-monitoring tool built from FlexTM's non-transactional primitives.
+// It demonstrates the decoupling claim — the same signatures and
+// alert-on-update hardware that accelerate transactions also implement
+// debugger watchpoints:
+//
+//   - AOU precisely monitors cache-block-aligned regions (invariant checks);
+//   - signatures give unbounded monitoring with false positives (buffer
+//     overflow and leak detection), via the Table 4(a) interface: insert,
+//     member, activate, clear.
+//
+// On a watch hit the hardware effects an alert into a software handler,
+// which disambiguates (the signature is conservative) and runs the
+// registered check.
+package flexwatcher
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+// Event classifies a detected memory bug.
+type Event int
+
+// Bug kinds from Table 4(b).
+const (
+	// BufferOverflow: a write landed in a guard zone past a heap buffer.
+	BufferOverflow Event = iota
+	// InvariantViolation: a watched variable broke its predicate.
+	InvariantViolation
+	// LeakTouch: a tracked heap object was accessed (its timestamp
+	// refreshes; objects never touched again are leak candidates).
+	LeakTouch
+)
+
+// Report is one detection.
+type Report struct {
+	Event Event
+	Addr  memory.Addr
+	At    sim.Time
+}
+
+// Watcher drives FlexTM's monitoring hardware for one core.
+type Watcher struct {
+	sys  *tmesi.System
+	core int
+
+	// Disambiguation tables: the signature is conservative, so the
+	// handler checks precise membership in software.
+	guards     map[memory.LineAddr]memory.Addr // guard line -> owning buffer
+	tracked    map[memory.LineAddr]memory.Addr // leak-tracked line -> object
+	invariants map[memory.LineAddr]func(v uint64) bool
+
+	lastTouch map[memory.Addr]sim.Time // leak timestamps per object
+	Reports   []Report
+
+	// HandlerCycles is the software cost charged per alert.
+	HandlerCycles sim.Time
+}
+
+// New returns a watcher for core on sys. Monitoring is off until the first
+// watch is registered (the Table 4a "activate" instruction).
+func New(sys *tmesi.System, core int) *Watcher {
+	return &Watcher{
+		sys:           sys,
+		core:          core,
+		guards:        make(map[memory.LineAddr]memory.Addr),
+		tracked:       make(map[memory.LineAddr]memory.Addr),
+		invariants:    make(map[memory.LineAddr]func(uint64) bool),
+		lastTouch:     make(map[memory.Addr]sim.Time),
+		HandlerCycles: 60,
+	}
+}
+
+// GuardBuffer pads a heap buffer with one guard line and watches it for
+// modification (the paper's BO recipe: "pad all heap allocated buffers with
+// 64 bytes and watch padded locations"). It returns the guard address.
+func (w *Watcher) GuardBuffer(buf memory.Addr, words int) memory.Addr {
+	guard := buf + memory.Addr(words)
+	// Round up to the next full line so the guard covers its own line.
+	if guard%memory.LineWords != 0 {
+		guard += memory.LineWords - guard%memory.LineWords
+	}
+	w.sys.WatchInsert(w.core, guard, true)
+	w.guards[guard.Line()] = buf
+	w.activate()
+	return guard
+}
+
+// TrackObject registers a heap object for leak detection: every access
+// refreshes its timestamp (the paper's ML recipe).
+func (w *Watcher) TrackObject(obj memory.Addr, words int) {
+	for l := obj.Line(); l <= (obj + memory.Addr(words-1)).Line(); l++ {
+		// All accesses refresh the timestamp: watch reads and writes.
+		w.sys.WatchInsert(w.core, l.WordOf(0), false)
+		w.sys.WatchInsert(w.core, l.WordOf(0), true)
+		w.tracked[l] = obj
+	}
+	w.activate()
+}
+
+// WatchLocalInvariant monitors local writes to addr's line via the
+// signature path and asserts check after each one (the IV recipe for
+// single-threaded programs, which modify the variable themselves).
+func (w *Watcher) WatchLocalInvariant(addr memory.Addr, check func(v uint64) bool) {
+	w.sys.WatchInsert(w.core, addr, true)
+	w.invariants[addr.Line()] = check
+	w.activate()
+}
+
+// WatchInvariant ALoads the cache block of addr and asserts check on every
+// alerted access (the paper's IV recipe).
+func (w *Watcher) WatchInvariant(ctx *sim.Ctx, addr memory.Addr, check func(v uint64) bool) {
+	w.sys.ALoad(ctx, w.core, addr)
+	w.invariants[addr.Line()] = check
+}
+
+func (w *Watcher) activate() { w.sys.SetSigWatch(w.core, true) }
+
+// Deactivate turns local access monitoring off.
+func (w *Watcher) Deactivate() { w.sys.SetSigWatch(w.core, false) }
+
+// Leaked returns tracked objects not touched since the given time: leak
+// candidates.
+func (w *Watcher) Leaked(since sim.Time) []memory.Addr {
+	var out []memory.Addr
+	seen := map[memory.Addr]bool{}
+	for _, obj := range w.tracked {
+		if seen[obj] {
+			continue
+		}
+		seen[obj] = true
+		if w.lastTouch[obj] <= since {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+// handleHit is the user-level alert handler: it disambiguates the
+// conservative signature hit and records real events.
+func (w *Watcher) handleHit(ctx *sim.Ctx, a memory.Addr, write bool) {
+	ctx.Advance(w.HandlerCycles)
+	line := a.Line()
+	if buf, ok := w.guards[line]; ok && write {
+		w.Reports = append(w.Reports, Report{Event: BufferOverflow, Addr: a, At: ctx.Now()})
+		_ = buf
+		return
+	}
+	if obj, ok := w.tracked[line]; ok {
+		w.lastTouch[obj] = ctx.Now()
+		w.Reports = append(w.Reports, Report{Event: LeakTouch, Addr: a, At: ctx.Now()})
+		return
+	}
+	if check, ok := w.invariants[line]; ok && write {
+		v := w.sys.ReadWordRaw(line.WordOf(0))
+		if !check(v) {
+			w.Reports = append(w.Reports, Report{Event: InvariantViolation, Addr: a, At: ctx.Now()})
+		}
+	}
+}
+
+// handleAlert services an AOU alert (invariant watching).
+func (w *Watcher) handleAlert(ctx *sim.Ctx, line memory.LineAddr) {
+	ctx.Advance(w.HandlerCycles)
+	check, ok := w.invariants[line]
+	if !ok {
+		return
+	}
+	v := w.sys.Load(ctx, w.core, line.WordOf(0)).Val
+	if !check(v) {
+		w.Reports = append(w.Reports, Report{Event: InvariantViolation, Addr: line.WordOf(0), At: ctx.Now()})
+	}
+	// Re-arm the watchpoint.
+	w.sys.ALoad(ctx, w.core, line.WordOf(0))
+}
+
+// Count returns the number of reports of the given kind.
+func (w *Watcher) Count(e Event) int {
+	n := 0
+	for _, r := range w.Reports {
+		if r.Event == e {
+			n++
+		}
+	}
+	return n
+}
+
+// Prog is the execution harness for a monitored program: every load and
+// store goes through the machine, and watch hits or alerts trap into the
+// watcher's handlers — the FlexWatcher execution mode of Table 4(b).
+type Prog struct {
+	sys  *tmesi.System
+	ctx  *sim.Ctx
+	core int
+	w    *Watcher
+
+	// Instrument selects a Discover-style software instrumentation mode
+	// instead: every access pays shadow-memory checks in software, with no
+	// hardware assist. Used as the comparison column of Table 4(b).
+	Instrument bool
+	shadow     memory.Addr
+}
+
+// NewProg returns an execution harness on core. w may be nil (baseline
+// uninstrumented run).
+func NewProg(sys *tmesi.System, ctx *sim.Ctx, core int, w *Watcher) *Prog {
+	return &Prog{sys: sys, ctx: ctx, core: core, w: w,
+		shadow: sys.Alloc().Alloc(4096)}
+}
+
+// discoverCheck models binary-instrumentation overhead: per-access
+// instrumentation stubs (call, spill, shadow-memory lookup, bounds check,
+// return) cost on the order of a hundred instructions in tools of this
+// class, which is what produces the 17-75x slowdowns in Table 4(b).
+func (p *Prog) discoverCheck(a memory.Addr) {
+	sh := p.shadow + memory.Addr(uint64(a)%4096)
+	p.sys.Load(p.ctx, p.core, sh)
+	p.ctx.Advance(95) // inserted stub instructions
+}
+
+// Load performs a monitored load.
+func (p *Prog) Load(a memory.Addr) uint64 {
+	if p.Instrument {
+		p.discoverCheck(a)
+	}
+	res := p.sys.Load(p.ctx, p.core, a)
+	p.dispatch(res, a, false)
+	return res.Val
+}
+
+// Store performs a monitored store.
+func (p *Prog) Store(a memory.Addr, v uint64) {
+	if p.Instrument {
+		p.discoverCheck(a)
+	}
+	res := p.sys.Store(p.ctx, p.core, a, v)
+	p.dispatch(res, a, true)
+}
+
+// Work advances computation time.
+func (p *Prog) Work(d sim.Time) { p.ctx.Advance(d) }
+
+// Now returns the thread clock.
+func (p *Prog) Now() sim.Time { return p.ctx.Now() }
+
+func (p *Prog) dispatch(res tmesi.OpResult, a memory.Addr, write bool) {
+	if p.w == nil {
+		return
+	}
+	if res.WatchHit {
+		p.w.handleHit(p.ctx, a, write)
+	}
+	if line, ok := p.sys.TakeAlert(p.core); ok {
+		p.w.handleAlert(p.ctx, line)
+	}
+}

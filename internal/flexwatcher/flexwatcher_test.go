@@ -1,0 +1,152 @@
+package flexwatcher
+
+import (
+	"strings"
+	"testing"
+
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+func machine() tmesi.Config {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	return cfg
+}
+
+func TestGuardDetectsOverflow(t *testing.T) {
+	sys := tmesi.New(machine())
+	e := sim.NewEngine()
+	e.Spawn("prog", 0, func(ctx *sim.Ctx) {
+		w := New(sys, 0)
+		p := NewProg(sys, ctx, 0, w)
+		buf := sys.Alloc().Alloc(16 + memory.LineWords)
+		guard := w.GuardBuffer(buf, 16)
+		for i := 0; i < 16; i++ {
+			p.Store(buf+memory.Addr(i), 1) // in bounds: no reports
+		}
+		if w.Count(BufferOverflow) != 0 {
+			t.Errorf("false overflow report on in-bounds writes")
+		}
+		p.Store(guard+1, 0xBAD) // past the end
+		if w.Count(BufferOverflow) != 1 {
+			t.Errorf("overflow not detected")
+		}
+		// Reads of the guard are not modification.
+		p.Load(guard + 1)
+		if w.Count(BufferOverflow) != 1 {
+			t.Errorf("read of guard misreported as overflow")
+		}
+	})
+	e.Run()
+}
+
+func TestLeakDetection(t *testing.T) {
+	sys := tmesi.New(machine())
+	e := sim.NewEngine()
+	e.Spawn("prog", 0, func(ctx *sim.Ctx) {
+		w := New(sys, 0)
+		p := NewProg(sys, ctx, 0, w)
+		live := sys.Alloc().Alloc(memory.LineWords)
+		leaked := sys.Alloc().Alloc(memory.LineWords)
+		w.TrackObject(live, memory.LineWords)
+		w.TrackObject(leaked, memory.LineWords)
+		start := ctx.Now()
+		for i := 0; i < 50; i++ {
+			p.Load(live)
+			p.Work(100)
+		}
+		lost := w.Leaked(start)
+		if len(lost) != 1 || lost[0] != leaked {
+			t.Errorf("Leaked = %v, want [%d]", lost, leaked)
+		}
+	})
+	e.Run()
+}
+
+func TestLocalInvariantViolation(t *testing.T) {
+	sys := tmesi.New(machine())
+	e := sim.NewEngine()
+	e.Spawn("prog", 0, func(ctx *sim.Ctx) {
+		w := New(sys, 0)
+		p := NewProg(sys, ctx, 0, w)
+		x := sys.Alloc().Alloc(memory.LineWords)
+		w.WatchLocalInvariant(x, func(v uint64) bool { return v < 100 })
+		p.Store(x, 50)
+		if w.Count(InvariantViolation) != 0 {
+			t.Error("false violation")
+		}
+		p.Store(x, 500)
+		if w.Count(InvariantViolation) != 1 {
+			t.Error("violation missed")
+		}
+	})
+	e.Run()
+}
+
+func TestRemoteInvariantViaAOU(t *testing.T) {
+	sys := tmesi.New(machine())
+	x := sys.Alloc().Alloc(memory.LineWords)
+	sys.Image().WriteWord(x, 1)
+	var w *Watcher
+	e := sim.NewEngine()
+	e.Spawn("watcher", 0, func(ctx *sim.Ctx) {
+		w = New(sys, 0)
+		p := NewProg(sys, ctx, 0, w)
+		w.WatchInvariant(ctx, x, func(v uint64) bool { return v != 0 })
+		for i := 0; i < 50; i++ {
+			p.Work(100)
+			p.Load(x + 7) // same line; keeps polling alerts
+		}
+	})
+	e.Spawn("mutator", 0, func(ctx *sim.Ctx) {
+		ctx.Advance(1000)
+		sys.Store(ctx, 1, x, 0) // remote write breaks the invariant
+	})
+	e.Run()
+	if w.Count(InvariantViolation) == 0 {
+		t.Fatal("remote invariant violation not caught via AOU")
+	}
+}
+
+func TestAllProgramsDetectTheirBugs(t *testing.T) {
+	for _, prog := range Programs() {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			_, _, err := RunProgram(prog, WithFlexWatcher, machine())
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTable4SlowdownShape(t *testing.T) {
+	rows, err := Table4(machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.FlexWatcherX < 1.0 {
+			t.Errorf("%s: FlexWatcher speedup?! %.2fx", r.Program, r.FlexWatcherX)
+		}
+		if r.FlexWatcherX > 4 {
+			t.Errorf("%s: FlexWatcher slowdown %.2fx too large (paper: 1.05-2.5x)",
+				r.Program, r.FlexWatcherX)
+		}
+		// The paper only reports Discover for the BO programs (N/A for
+		// Gzip-IV and Squid); there it is an order of magnitude worse.
+		if r.Bug == "BO" && r.DiscoverX < 8*r.FlexWatcherX {
+			t.Errorf("%s: Discover (%.2fx) not an order of magnitude worse than FlexWatcher (%.2fx)",
+				r.Program, r.DiscoverX, r.FlexWatcherX)
+		}
+	}
+	out := PrintTable4(rows)
+	if !strings.Contains(out, "Squid") {
+		t.Fatal("table output incomplete")
+	}
+}

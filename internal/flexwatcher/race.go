@@ -1,0 +1,94 @@
+package flexwatcher
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+// RaceDetector demonstrates the alert-on-update hardware applied to data-race
+// detection, one of the non-transactional uses the paper's TR version
+// proposes for FlexTM components (debugging/fault tolerance). The tool
+// ALoads variables that a locking discipline says may only change while the
+// observing thread does NOT hold the protecting lock; an alert that arrives
+// while the lock is held means some other thread wrote the variable without
+// acquiring it — a data race, caught by hardware with zero per-access
+// software checks.
+type RaceDetector struct {
+	sys  *tmesi.System
+	core int
+
+	watched map[memory.LineAddr]string
+	inCrit  bool
+	Reports []RaceReport
+	// HandlerCycles is the software cost per alert.
+	HandlerCycles sim.Time
+}
+
+// RaceReport records one detected race.
+type RaceReport struct {
+	Variable string
+	At       sim.Time
+}
+
+// NewRaceDetector returns a detector for the thread on core.
+func NewRaceDetector(sys *tmesi.System, core int) *RaceDetector {
+	return &RaceDetector{
+		sys:           sys,
+		core:          core,
+		watched:       make(map[memory.LineAddr]string),
+		HandlerCycles: 60,
+	}
+}
+
+// WatchShared registers a lock-protected variable: remote modification
+// while this thread is inside the critical section is a race.
+func (d *RaceDetector) WatchShared(ctx *sim.Ctx, addr memory.Addr, name string) {
+	d.sys.ALoad(ctx, d.core, addr)
+	d.watched[addr.Line()] = name
+}
+
+// EnterCritical marks the start of this thread's critical section (called
+// right after its lock acquire).
+func (d *RaceDetector) EnterCritical(ctx *sim.Ctx) {
+	d.drain(ctx) // alerts before this point were outside the section
+	d.inCrit = true
+}
+
+// ExitCritical marks the end of the critical section (called right before
+// the lock release).
+func (d *RaceDetector) ExitCritical(ctx *sim.Ctx) {
+	d.Poll(ctx)
+	d.inCrit = false
+}
+
+// Poll consumes pending alerts; alerts on watched lines while inside the
+// critical section are races. Watchpoints re-arm automatically.
+func (d *RaceDetector) Poll(ctx *sim.Ctx) {
+	for {
+		line, ok := d.sys.TakeAlert(d.core)
+		if !ok {
+			return
+		}
+		ctx.Advance(d.HandlerCycles)
+		name, watched := d.watched[line]
+		if watched && d.inCrit {
+			d.Reports = append(d.Reports, RaceReport{Variable: name, At: ctx.Now()})
+		}
+		if watched {
+			d.sys.ALoad(ctx, d.core, line.WordOf(0)) // re-arm
+		}
+	}
+}
+
+// drain discards alerts that arrived outside any critical section (benign
+// under the discipline) while re-arming the watchpoints.
+func (d *RaceDetector) drain(ctx *sim.Ctx) {
+	was := d.inCrit
+	d.inCrit = false
+	d.Poll(ctx)
+	d.inCrit = was
+}
+
+// Races returns the number of reports.
+func (d *RaceDetector) Races() int { return len(d.Reports) }

@@ -1,0 +1,110 @@
+package flexwatcher
+
+import (
+	"testing"
+
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+// raceFixture: a shared counter protected by a lock, an observer thread
+// that holds the lock around its critical sections, and a mutator thread
+// that either respects the lock or races.
+func raceFixture(t *testing.T, mutatorRespectsLock bool) int {
+	t.Helper()
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	sys := tmesi.New(cfg)
+	lock := sys.Alloc().Alloc(memory.LineWords)
+	counter := sys.Alloc().Alloc(memory.LineWords)
+
+	acquire := func(ctx *sim.Ctx, core int) {
+		for {
+			if sys.Load(ctx, core, lock).Val == 0 {
+				if _, ok := sys.CAS(ctx, core, lock, 0, uint64(core)+1); ok {
+					return
+				}
+			}
+			ctx.Advance(50)
+		}
+	}
+	release := func(ctx *sim.Ctx, core int) { sys.Store(ctx, core, lock, 0) }
+
+	var d *RaceDetector
+	e := sim.NewEngine()
+	e.Spawn("observer", 0, func(ctx *sim.Ctx) {
+		d = NewRaceDetector(sys, 0)
+		d.WatchShared(ctx, counter, "counter")
+		for i := 0; i < 20; i++ {
+			acquire(ctx, 0)
+			d.EnterCritical(ctx)
+			v := sys.Load(ctx, 0, counter).Val
+			ctx.Advance(300) // critical-section work
+			sys.Store(ctx, 0, counter, v+1)
+			d.ExitCritical(ctx)
+			release(ctx, 0)
+			ctx.Advance(200)
+		}
+	})
+	e.Spawn("mutator", 0, func(ctx *sim.Ctx) {
+		ctx.Advance(137)
+		for i := 0; i < 20; i++ {
+			if mutatorRespectsLock {
+				acquire(ctx, 1)
+			}
+			v := sys.Load(ctx, 1, counter).Val
+			sys.Store(ctx, 1, counter, v+1)
+			if mutatorRespectsLock {
+				release(ctx, 1)
+			}
+			ctx.Advance(173)
+		}
+	})
+	if blocked := e.Run(); blocked != 0 {
+		t.Fatalf("%d threads blocked", blocked)
+	}
+	return d.Races()
+}
+
+func TestRaceDetectorCatchesUnlockedWriter(t *testing.T) {
+	if races := raceFixture(t, false); races == 0 {
+		t.Fatal("racy mutator went undetected")
+	}
+}
+
+func TestRaceDetectorSilentUnderDiscipline(t *testing.T) {
+	if races := raceFixture(t, true); races != 0 {
+		t.Fatalf("%d false race reports for a lock-respecting mutator", races)
+	}
+}
+
+func TestRaceDetectorRearmsAfterAlert(t *testing.T) {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	sys := tmesi.New(cfg)
+	x := sys.Alloc().Alloc(memory.LineWords)
+	var d *RaceDetector
+	e := sim.NewEngine()
+	e.Spawn("observer", 0, func(ctx *sim.Ctx) {
+		d = NewRaceDetector(sys, 0)
+		d.WatchShared(ctx, x, "x")
+		d.EnterCritical(ctx)
+		for i := 0; i < 5; i++ {
+			ctx.Advance(1000)
+			ctx.Sync()
+			d.Poll(ctx)
+		}
+		d.ExitCritical(ctx)
+	})
+	e.Spawn("mutator", 0, func(ctx *sim.Ctx) {
+		for i := 0; i < 3; i++ {
+			ctx.Advance(900)
+			sys.Store(ctx, 1, x, uint64(i))
+		}
+	})
+	e.Run()
+	if d.Races() < 3 {
+		t.Fatalf("races = %d, want >= 3 (watchpoint must re-arm)", d.Races())
+	}
+}

@@ -1,0 +1,443 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flextm/internal/cache"
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/signature"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+	"flextm/internal/workloads"
+)
+
+// Series is one curve of a plot: normalized throughput by thread count.
+type Series struct {
+	System SystemName
+	Points map[int]float64
+}
+
+// Plot is one panel of Figure 4 or 5.
+type Plot struct {
+	Workload string
+	Series   []Series
+	// Conflict degree stats from the FlexTM runs (Figure 4's table).
+	Md8, Mx8, Md16, Mx16 int
+}
+
+// SweepConfig parameterizes a figure regeneration.
+type SweepConfig struct {
+	Machine tmesi.Config
+	Threads []int
+	Ops     int
+	Verify  bool
+}
+
+// DefaultSweep is the paper's sweep: 1..16 threads on the Table 3(a)
+// machine.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Machine: tmesi.DefaultConfig(),
+		Threads: []int{1, 2, 4, 8, 16},
+		Ops:     DefaultOps,
+		Verify:  true,
+	}
+}
+
+// ws1Systems are the runtimes compared on Workload-Set 1 (Figure 4a-e);
+// all perform eager conflict management, as in the paper.
+func ws1Systems() []SystemName { return []SystemName{CGL, FlexTMEager, RTMF, RSTM} }
+
+// ws2Systems are the runtimes compared on Vacation (Figure 4f-g).
+func ws2Systems() []SystemName { return []SystemName{CGL, FlexTMEager, TL2} }
+
+// Figure4 regenerates the throughput/scalability study: every workload of
+// Table 3(b) against its system set, normalized to 1-thread CGL.
+func Figure4(sc SweepConfig) ([]Plot, error) {
+	var plots []Plot
+	for _, f := range workloads.All() {
+		systems := ws1Systems()
+		if f.Name == "Vacation-Low" || f.Name == "Vacation-High" {
+			systems = ws2Systems()
+		}
+		plot, err := sweep(sc, f, systems)
+		if err != nil {
+			return nil, fmt.Errorf("figure 4 (%s): %w", f.Name, err)
+		}
+		plots = append(plots, plot)
+	}
+	return plots, nil
+}
+
+// Figure5 regenerates the eager-vs-lazy study on the four contended
+// workloads (Figure 5a-d), normalized to 1-thread FlexTM(Eager).
+func Figure5(sc SweepConfig) ([]Plot, error) {
+	var plots []Plot
+	for _, name := range []string{"RBTree", "Vacation-High", "LFUCache", "RandomGraph"} {
+		f, _ := workloads.ByName(name)
+		plot, err := sweepNormalizedTo(sc, f, []SystemName{FlexTMEager, FlexTMLazy}, FlexTMEager)
+		if err != nil {
+			return nil, fmt.Errorf("figure 5 (%s): %w", name, err)
+		}
+		plots = append(plots, plot)
+	}
+	return plots, nil
+}
+
+// sweep runs the systems across the thread counts, normalized to 1-thread
+// CGL on the same workload and machine.
+func sweep(sc SweepConfig, f workloads.Factory, systems []SystemName) (Plot, error) {
+	base, err := Baseline(f, sc.Machine, sc.Ops)
+	if err != nil {
+		return Plot{}, err
+	}
+	return sweepWithBase(sc, f, systems, base)
+}
+
+// sweepNormalizedTo normalizes to the 1-thread run of the given system.
+func sweepNormalizedTo(sc SweepConfig, f workloads.Factory, systems []SystemName, norm SystemName) (Plot, error) {
+	res, err := Run(RunConfig{
+		System: norm, Workload: f, Threads: 1, OpsPerThread: sc.Ops,
+		Machine: sc.Machine, Verify: sc.Verify,
+	})
+	if err != nil {
+		return Plot{}, err
+	}
+	return sweepWithBase(sc, f, systems, res.Throughput)
+}
+
+func sweepWithBase(sc SweepConfig, f workloads.Factory, systems []SystemName, base float64) (Plot, error) {
+	plot := Plot{Workload: f.Name}
+	for _, sysName := range systems {
+		s := Series{System: sysName, Points: map[int]float64{}}
+		for _, th := range sc.Threads {
+			res, err := Run(RunConfig{
+				System: sysName, Workload: f, Threads: th, OpsPerThread: sc.Ops,
+				Machine: sc.Machine, Verify: sc.Verify,
+			})
+			if err != nil {
+				return Plot{}, fmt.Errorf("%s@%d: %w", sysName, th, err)
+			}
+			s.Points[th] = res.Throughput / base
+			if sysName == FlexTMEager || sysName == FlexTMLazy {
+				switch th {
+				case 8:
+					plot.Md8, plot.Mx8 = res.MedianConflicts, res.MaxConflicts
+				case 16:
+					plot.Md16, plot.Mx16 = res.MedianConflicts, res.MaxConflicts
+				}
+			}
+		}
+		plot.Series = append(plot.Series, s)
+	}
+	return plot, nil
+}
+
+// MultiprogramPoint is one x-position of Figure 5(e)/(f): appThreads
+// transactional threads share the machine with prime threads on the
+// remaining cores; aborted transactions yield the CPU to prime chunks.
+type MultiprogramPoint struct {
+	AppThreads int
+	Mode       SystemName
+	// AppNorm is the app's throughput normalized to its 1-thread isolated
+	// run; PrimeNorm likewise for the prime factorizer.
+	AppNorm   float64
+	PrimeNorm float64
+}
+
+// Multiprogram runs Figure 5(e)/(f) for the given transactional workload.
+func Multiprogram(sc SweepConfig, f workloads.Factory, appThreads []int) ([]MultiprogramPoint, error) {
+	// Isolated baselines.
+	appBase, err := isolatedThroughput(sc, func(sys *tmesi.System) (tmapi.Runtime, workloads.Workload, error) {
+		rt, err := NewRuntime(FlexTMEager, sys)
+		return rt, f.New(), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	primeBase, err := isolatedThroughput(sc, func(sys *tmesi.System) (tmapi.Runtime, workloads.Workload, error) {
+		rt, err := NewRuntime(CGL, sys)
+		return rt, workloads.NewPrime(), err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var points []MultiprogramPoint
+	for _, mode := range []SystemName{FlexTMEager, FlexTMLazy} {
+		for _, at := range appThreads {
+			p, err := multiprogramRun(sc, f, mode, at, appBase, primeBase)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+func isolatedThroughput(sc SweepConfig, mk func(*tmesi.System) (tmapi.Runtime, workloads.Workload, error)) (float64, error) {
+	sys := tmesi.New(sc.Machine)
+	rt, w, err := mk(sys)
+	if err != nil {
+		return 0, err
+	}
+	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
+	w.Setup(env)
+	e := sim.NewEngine()
+	e.Spawn(w.Name(), 0, func(ctx *sim.Ctx) {
+		th := rt.Bind(ctx, 0)
+		for j := 0; j < sc.Ops; j++ {
+			w.Op(th)
+		}
+	})
+	if blocked := e.Run(); blocked != 0 {
+		return 0, fmt.Errorf("harness: isolated run blocked")
+	}
+	return float64(sc.Ops) / float64(e.MaxTime()) * 1e6, nil
+}
+
+func multiprogramRun(sc SweepConfig, f workloads.Factory, mode SystemName, appThreads int,
+	appBase, primeBase float64) (MultiprogramPoint, error) {
+
+	cores := sc.Machine.Cores
+	primeThreads := cores - appThreads
+	sys := tmesi.New(sc.Machine)
+	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
+
+	app := f.New()
+	app.Setup(env)
+	prime := workloads.NewPrime()
+	prime.Setup(env)
+
+	rt, err := NewRuntime(mode, sys)
+	if err != nil {
+		return MultiprogramPoint{}, err
+	}
+	// Yield-on-abort: a doomed transaction donates a prime chunk before
+	// retrying (the paper's user-level schedule control). Eager management
+	// detects doomed transactions earlier, so the chunk displaces fewer
+	// wasted cycles and more total prime work fits in the same wall clock.
+	if fx, ok := rt.(*core.Runtime); ok {
+		fx.OnAbortYield = func(th *core.Thread) { prime.Chunk(th) }
+	}
+	primeRT, err := NewRuntime(CGL, sys)
+	if err != nil {
+		return MultiprogramPoint{}, err
+	}
+
+	// Fixed wall clock: every thread loops until the deadline, so the
+	// metric is work completed per unit time, as in the paper's plots.
+	deadline := sim.Time(sc.Ops) * multiprogramCyclesPerOp
+	e := sim.NewEngine()
+	for i := 0; i < appThreads; i++ {
+		id := i
+		e.Spawn("app", 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, id)
+			for ctx.Now() < deadline {
+				app.Op(th)
+			}
+		})
+	}
+	for i := 0; i < primeThreads; i++ {
+		id := i
+		e.Spawn("prime", 0, func(ctx *sim.Ctx) {
+			th := primeRT.Bind(ctx, appThreads+id)
+			for ctx.Now() < deadline {
+				prime.Op(th)
+			}
+		})
+	}
+	if blocked := e.Run(); blocked != 0 {
+		return MultiprogramPoint{}, fmt.Errorf("harness: multiprogram run blocked")
+	}
+
+	pt := MultiprogramPoint{AppThreads: appThreads, Mode: mode}
+	elapsed := float64(e.MaxTime())
+	if elapsed > 0 {
+		pt.AppNorm = float64(rt.Stats().Commits) / elapsed * 1e6 / appBase
+		pt.PrimeNorm = float64(prime.Completed(env)) / elapsed * 1e6 / primeBase
+	}
+	return pt, nil
+}
+
+// multiprogramCyclesPerOp scales the multiprogramming deadline from the
+// sweep's per-thread op budget.
+const multiprogramCyclesPerOp = 2000
+
+// OverflowAblation compares bounded (32-entry victim buffer) against
+// unbounded victim buffering, reproducing the Section 7.3 experiment: the
+// redo-log/OT path should cost a few percent on workloads that overflow.
+type OverflowResult struct {
+	Workload  string
+	Overflows uint64
+	// Slowdown is unbounded-buffer throughput divided by bounded (>= 1
+	// means the OT path costs something).
+	Slowdown float64
+}
+
+// OverflowAblation runs the comparison on the given workloads with an L1
+// small enough to force set-conflict evictions of speculative lines.
+func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowResult, error) {
+	small := sc.Machine
+	small.L1 = cache.Config{Sets: 16, Ways: 2, VictimSize: 8}
+	unbounded := small
+	unbounded.L1.UnboundedTMIVictim = true // ideal: infinite speculative buffer
+
+	var out []OverflowResult
+	for _, name := range names {
+		f, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		bounded, err := Run(RunConfig{
+			System: FlexTMLazy, Workload: f, Threads: threads,
+			OpsPerThread: sc.Ops, Machine: small, Verify: sc.Verify,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ideal, err := Run(RunConfig{
+			System: FlexTMLazy, Workload: f, Threads: threads,
+			OpsPerThread: sc.Ops, Machine: unbounded, Verify: sc.Verify,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := OverflowResult{Workload: name, Overflows: bounded.Machine.Overflows}
+		if bounded.Throughput > 0 {
+			r.Slowdown = ideal.Throughput / bounded.Throughput
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintPlots writes plots as aligned text tables.
+func PrintPlots(w io.Writer, title string, plots []Plot, threads []int) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	for _, p := range plots {
+		fmt.Fprintf(w, "\n[%s] normalized throughput (x = threads)\n", p.Workload)
+		fmt.Fprintf(w, "%-16s", "system")
+		for _, th := range threads {
+			fmt.Fprintf(w, "%8d", th)
+		}
+		fmt.Fprintln(w)
+		for _, s := range p.Series {
+			fmt.Fprintf(w, "%-16s", s.System)
+			ths := make([]int, 0, len(s.Points))
+			for th := range s.Points {
+				ths = append(ths, th)
+			}
+			sort.Ints(ths)
+			for _, th := range threads {
+				fmt.Fprintf(w, "%8.2f", s.Points[th])
+			}
+			fmt.Fprintln(w)
+		}
+		if p.Mx8 != 0 || p.Mx16 != 0 || p.Md8 != 0 || p.Md16 != 0 {
+			fmt.Fprintf(w, "conflicting txns: 8T md=%d mx=%d  16T md=%d mx=%d\n",
+				p.Md8, p.Mx8, p.Md16, p.Mx16)
+		}
+	}
+}
+
+// SigResult is one point of the signature-width ablation: narrower Bloom
+// filters alias more lines, producing false conflicts and extra aborts.
+type SigResult struct {
+	Bits       int
+	Throughput float64
+	AbortRate  float64
+}
+
+// SignatureAblation sweeps the signature width for FlexTM(Lazy) on the
+// given workload (a DESIGN.md extension experiment; the paper fixes the
+// width at 2048 bits after Sanchez et al.).
+func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) ([]SigResult, error) {
+	f, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", name)
+	}
+	var out []SigResult
+	for _, bits := range widths {
+		machine := sc.Machine
+		machine.Sig = signature.Config{Bits: bits, Banks: 4}
+		res, err := Run(RunConfig{
+			System: FlexTMLazy, Workload: f, Threads: threads,
+			OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sig width %d: %w", bits, err)
+		}
+		out = append(out, SigResult{
+			Bits:       bits,
+			Throughput: res.Throughput,
+			AbortRate:  float64(res.Aborts) / float64(res.Commits),
+		})
+	}
+	return out, nil
+}
+
+// ManagerResult is one point of the contention-manager ablation.
+type ManagerResult struct {
+	Manager    string
+	Mode       string
+	Throughput float64
+	AbortRate  float64
+}
+
+// ManagerAblation compares contention managers on a contended workload in
+// eager mode, where arbitration policy matters most.
+func ManagerAblation(sc SweepConfig, name string, threads int) ([]ManagerResult, error) {
+	f, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", name)
+	}
+	managers := []cm.Manager{cm.NewPolka(), cm.NewKarma(), cm.NewGreedy(), cm.NewTimestamp(), cm.Timid{}, cm.Aggressive{}}
+	var out []ManagerResult
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		for _, mgr := range managers {
+			sys := tmesi.New(sc.Machine)
+			rt := core.New(sys, mode, mgr)
+			env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
+			w := f.New()
+			w.Setup(env)
+			e := sim.NewEngine()
+			spans := make([]sim.Time, threads)
+			for i := 0; i < threads; i++ {
+				id := i
+				e.Spawn("w", 0, func(ctx *sim.Ctx) {
+					th := rt.Bind(ctx, id)
+					for j := 0; j < DefaultWarmup; j++ {
+						w.Op(th)
+					}
+					start := ctx.Now()
+					for j := 0; j < sc.Ops; j++ {
+						w.Op(th)
+					}
+					spans[id] = ctx.Now() - start
+				})
+			}
+			if blocked := e.Run(); blocked != 0 {
+				return nil, fmt.Errorf("manager ablation: %d threads blocked", blocked)
+			}
+			if err := w.Verify(env); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", mode, mgr.Name(), err)
+			}
+			r := ManagerResult{Manager: mgr.Name(), Mode: mode.String()}
+			for _, d := range spans {
+				if d > 0 {
+					r.Throughput += float64(sc.Ops) / float64(d) * 1e6
+				}
+			}
+			st := rt.Stats()
+			r.AbortRate = float64(st.Aborts) / float64(st.Commits)
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,220 @@
+// Package harness runs the paper's experiments: it instantiates a machine,
+// a TM runtime, and a workload, executes a fixed number of operations per
+// thread, and reports throughput normalized to single-thread coarse-grain
+// locks — the metric of Figures 4 and 5.
+package harness
+
+import (
+	"fmt"
+
+	"flextm/internal/baselines/bulk"
+	"flextm/internal/baselines/cgl"
+	"flextm/internal/baselines/logtm"
+	"flextm/internal/baselines/rstm"
+	"flextm/internal/baselines/rtmf"
+	"flextm/internal/baselines/tl2"
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+	"flextm/internal/trace"
+	"flextm/internal/workloads"
+)
+
+// SystemName identifies a runtime configuration.
+type SystemName string
+
+// The systems of the paper's evaluation (Section 7.2).
+const (
+	CGL         SystemName = "CGL"
+	FlexTMEager SystemName = "FlexTM(Eager)"
+	FlexTMLazy  SystemName = "FlexTM(Lazy)"
+	RTMF        SystemName = "RTM-F"
+	RSTM        SystemName = "RSTM"
+	TL2         SystemName = "TL2"
+	// LogTM is an extension baseline (eager versioning, stall-based
+	// conflicts, no remote aborts) for the FlexTM-vs-LogTM comparison.
+	LogTM SystemName = "LogTM"
+	// Bulk is an extension baseline (lazy with a global commit token and
+	// write-signature broadcast) demonstrating the serialized-commit cost
+	// FlexTM's CSTs remove.
+	Bulk SystemName = "Bulk"
+)
+
+// NewRuntime builds the named runtime over sys. All contended systems use
+// the Polka contention manager, as in the paper.
+func NewRuntime(name SystemName, sys *tmesi.System) (tmapi.Runtime, error) {
+	switch name {
+	case CGL:
+		return cgl.New(sys), nil
+	case FlexTMEager:
+		return core.New(sys, core.Eager, cm.NewPolka()), nil
+	case FlexTMLazy:
+		return core.New(sys, core.Lazy, cm.NewPolka()), nil
+	case RTMF:
+		return rtmf.New(sys, cm.NewPolka()), nil
+	case RSTM:
+		return rstm.New(sys, cm.NewPolka()), nil
+	case TL2:
+		return tl2.New(sys), nil
+	case LogTM:
+		return logtm.New(sys), nil
+	case Bulk:
+		return bulk.New(sys), nil
+	}
+	return nil, fmt.Errorf("harness: unknown system %q", name)
+}
+
+// RunConfig describes one data point.
+type RunConfig struct {
+	System       SystemName
+	Workload     workloads.Factory
+	Threads      int
+	OpsPerThread int
+	Machine      tmesi.Config
+	Verify       bool
+	// WarmupOps is the total untimed operation count, divided among the
+	// threads, before the measured region (defaults to DefaultWarmup).
+	WarmupOps int
+	// Tracer, if non-nil, records transaction-level events (FlexTM
+	// systems only; other runtimes ignore it).
+	Tracer *trace.Recorder
+	// YieldTo, if non-nil, is invoked by FlexTM threads when a transaction
+	// aborts, before retrying (the multiprogramming experiment's
+	// user-level yield).
+	YieldTo func(th tmapi.Thread)
+}
+
+// DefaultOps is the per-thread operation count used by the paper-replica
+// sweeps; it balances statistical stability with run time.
+const DefaultOps = 300
+
+// DefaultWarmup is the total untimed operation count (divided among the
+// threads) run before the measured region. The paper warms the data
+// structure before timing; a fixed *total* keeps cache warmth comparable
+// across thread counts, so the timed region measures steady state at every
+// point of a sweep.
+const DefaultWarmup = 1024
+
+// Result is the outcome of one run.
+type Result struct {
+	System   SystemName
+	Workload string
+	Threads  int
+
+	Commits uint64
+	Aborts  uint64
+	Cycles  sim.Time
+	// Throughput is transactions per million cycles (Figure 4's y-axis
+	// before normalization).
+	Throughput float64
+	// MedianConflicts and MaxConflicts summarize the CST degree per
+	// committed transaction (Figure 4's table; FlexTM only).
+	MedianConflicts int
+	MaxConflicts    int
+
+	Machine tmesi.Stats
+}
+
+// Run executes one configuration and returns its result.
+func Run(rc RunConfig) (Result, error) {
+	if rc.Threads <= 0 || rc.Threads > rc.Machine.Cores {
+		return Result{}, fmt.Errorf("harness: %d threads on %d cores", rc.Threads, rc.Machine.Cores)
+	}
+	ops := rc.OpsPerThread
+	if ops == 0 {
+		ops = DefaultOps
+	}
+	warmupTotal := rc.WarmupOps
+	if warmupTotal == 0 {
+		warmupTotal = DefaultWarmup
+	}
+	warmup := (warmupTotal + rc.Threads - 1) / rc.Threads
+	sys := tmesi.New(rc.Machine)
+	rt, err := NewRuntime(rc.System, sys)
+	if err != nil {
+		return Result{}, err
+	}
+	if fx, ok := rt.(*core.Runtime); ok {
+		if rc.YieldTo != nil {
+			fx.OnAbortYield = func(th *core.Thread) { rc.YieldTo(th) }
+		}
+		fx.Tracer = rc.Tracer
+	}
+	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
+	w := rc.Workload.New()
+	w.Setup(env)
+
+	e := sim.NewEngine()
+	starts := make([]sim.Time, rc.Threads)
+	ends := make([]sim.Time, rc.Threads)
+	for i := 0; i < rc.Threads; i++ {
+		coreID := i
+		e.Spawn(fmt.Sprintf("%s-%d", w.Name(), i), 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, coreID)
+			for j := 0; j < warmup; j++ {
+				w.Op(th)
+			}
+			starts[coreID] = ctx.Now()
+			for j := 0; j < ops; j++ {
+				w.Op(th)
+			}
+			ends[coreID] = ctx.Now()
+		})
+	}
+	if blocked := e.Run(); blocked != 0 {
+		return Result{}, fmt.Errorf("harness: %d threads blocked", blocked)
+	}
+	if rc.Verify {
+		if err := w.Verify(env); err != nil {
+			return Result{}, fmt.Errorf("harness: %s on %s failed verification: %w",
+				w.Name(), rc.System, err)
+		}
+	}
+
+	st := rt.Stats()
+	res := Result{
+		System:   rc.System,
+		Workload: w.Name(),
+		Threads:  rc.Threads,
+		Commits:  st.Commits,
+		Aborts:   st.Aborts,
+		Cycles:   e.MaxTime(),
+		Machine:  sys.Stats(),
+	}
+	// System throughput: all timed transactions over the global window in
+	// which they executed (first thread's timed start to last thread's
+	// end). A fully serialized workload yields ~1x regardless of thread
+	// count; a perfectly parallel one yields ~Nx.
+	windowStart, windowEnd := starts[0], ends[0]
+	for i := 1; i < rc.Threads; i++ {
+		if starts[i] < windowStart {
+			windowStart = starts[i]
+		}
+		if ends[i] > windowEnd {
+			windowEnd = ends[i]
+		}
+	}
+	if windowEnd > windowStart {
+		res.Throughput = float64(rc.Threads*ops) / float64(windowEnd-windowStart) * 1e6
+	}
+	res.MedianConflicts, res.MaxConflicts = st.MedianMaxConflicts()
+	return res, nil
+}
+
+// Baseline runs single-thread CGL for the workload and returns its
+// throughput, the normalization basis of every plot.
+func Baseline(w workloads.Factory, machine tmesi.Config, ops int) (float64, error) {
+	res, err := Run(RunConfig{
+		System: CGL, Workload: w, Threads: 1, OpsPerThread: ops,
+		Machine: machine, Verify: true,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if res.Throughput == 0 {
+		return 0, fmt.Errorf("harness: zero baseline throughput for %s", w.Name)
+	}
+	return res.Throughput, nil
+}

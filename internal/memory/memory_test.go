@@ -1,0 +1,138 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrLineOffset(t *testing.T) {
+	cases := []struct {
+		a    Addr
+		line LineAddr
+		off  int
+	}{
+		{0, 0, 0},
+		{7, 0, 7},
+		{8, 1, 0},
+		{65, 8, 1},
+	}
+	for _, c := range cases {
+		if c.a.Line() != c.line || c.a.Offset() != c.off {
+			t.Errorf("Addr(%d): line=%d off=%d, want %d/%d",
+				c.a, c.a.Line(), c.a.Offset(), c.line, c.off)
+		}
+		if c.line.WordOf(c.off) != c.a {
+			t.Errorf("WordOf round trip failed for %d", c.a)
+		}
+	}
+}
+
+func TestImageReadWrite(t *testing.T) {
+	im := NewImage()
+	if v := im.ReadWord(123); v != 0 {
+		t.Fatalf("unwritten word = %d, want 0", v)
+	}
+	im.WriteWord(123, 0xDEAD)
+	if v := im.ReadWord(123); v != 0xDEAD {
+		t.Fatalf("word = %#x, want 0xDEAD", v)
+	}
+	// Neighboring word in the same line is untouched.
+	if v := im.ReadWord(122); v != 0 {
+		t.Fatalf("neighbor = %d, want 0", v)
+	}
+}
+
+func TestImageLineOps(t *testing.T) {
+	im := NewImage()
+	var src LineData
+	for i := range src {
+		src[i] = uint64(i) * 11
+	}
+	im.WriteLine(5, &src)
+	var dst LineData
+	im.ReadLine(5, &dst)
+	if dst != src {
+		t.Fatalf("line round trip: got %v want %v", dst, src)
+	}
+	// Word view sees line writes.
+	if v := im.ReadWord(LineAddr(5).WordOf(3)); v != 33 {
+		t.Fatalf("word view = %d, want 33", v)
+	}
+	var zero LineData
+	im.ReadLine(99, &dst)
+	if dst != zero {
+		t.Fatalf("unwritten line not zero: %v", dst)
+	}
+}
+
+func TestImageWordLineConsistency(t *testing.T) {
+	f := func(seed uint64, vals [LineWords]uint64) bool {
+		im := NewImage()
+		l := LineAddr(seed % 1000)
+		for i, v := range vals {
+			im.WriteWord(l.WordOf(i), v)
+		}
+		var got LineData
+		im.ReadLine(l, &got)
+		return got == LineData(vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorDistinctLineAligned(t *testing.T) {
+	al := NewAllocator()
+	seen := map[Addr]bool{}
+	for i := 0; i < 100; i++ {
+		a := al.Alloc(3)
+		if a%LineWords != 0 {
+			t.Fatalf("allocation %d not line aligned", a)
+		}
+		if seen[a] {
+			t.Fatalf("address %d returned twice", a)
+		}
+		seen[a] = true
+	}
+}
+
+func TestAllocatorReuseAfterFree(t *testing.T) {
+	al := NewAllocator()
+	a := al.Alloc(16)
+	al.Free(a, 16)
+	b := al.Alloc(16)
+	if a != b {
+		t.Fatalf("freed block not reused: %d vs %d", a, b)
+	}
+}
+
+func TestAllocatorDisjointRegions(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		al := NewAllocator()
+		type region struct{ a, end Addr }
+		var regions []region
+		for _, s := range sizes {
+			w := int(s%64) + 1
+			a := al.Alloc(w)
+			for _, r := range regions {
+				if a < r.end && r.a < a+Addr(w) {
+					return false
+				}
+			}
+			regions = append(regions, region{a, a + Addr(w)})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc(0) did not panic")
+		}
+	}()
+	NewAllocator().Alloc(0)
+}

@@ -1,0 +1,155 @@
+package osmodel
+
+import (
+	"testing"
+
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// schedFixture builds a small machine plus scheduler.
+func schedFixture(mode core.Mode, cores int, quantum sim.Time) (*tmesi.System, *core.Runtime, *Scheduler, *sim.Engine) {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = cores
+	sys := tmesi.New(cfg)
+	rt := core.New(sys, mode, cm.NewPolka())
+	m := New(sys, rt)
+	e := sim.NewEngine()
+	return sys, rt, NewScheduler(m, rt, e, quantum), e
+}
+
+func TestSchedulerTimeslicesMoreThreadsThanCores(t *testing.T) {
+	const cores, threadsPerCore, incs = 2, 3, 15
+	sys, rt, sched, _ := schedFixture(core.Lazy, cores, 3000)
+	x := sys.Alloc().Alloc(1)
+	for c := 0; c < cores; c++ {
+		for k := 0; k < threadsPerCore; k++ {
+			sched.Spawn(c, func(th tmapi.Thread) {
+				for j := 0; j < incs; j++ {
+					th.Atomic(func(tx tmapi.Txn) {
+						tx.Store(x, tx.Load(x)+1)
+					})
+					th.Work(500)
+				}
+			})
+		}
+	}
+	if blocked := sched.Run(); blocked != 0 {
+		t.Fatalf("%d threads never finished", blocked)
+	}
+	want := uint64(cores * threadsPerCore * incs)
+	if v := sys.ReadWordRaw(x); v != want {
+		t.Fatalf("counter = %d, want %d", v, want)
+	}
+	if s := rt.Stats(); s.Commits != want {
+		t.Fatalf("commits = %d, want %d", s.Commits, want)
+	}
+}
+
+func TestSchedulerTransactionsSurviveQuanta(t *testing.T) {
+	// A transaction longer than the quantum must be suspended and resumed
+	// (possibly several times) and still commit.
+	sys, _, sched, _ := schedFixture(core.Lazy, 1, 1500)
+	x := sys.Alloc().Alloc(1)
+	sched.Spawn(0, func(th tmapi.Thread) {
+		th.Atomic(func(tx tmapi.Txn) {
+			tx.Store(x, 42)
+			for i := 0; i < 10; i++ {
+				tx.Load(x)
+				th.Work(800) // ~8000 cycles inside the txn, quantum 1500
+			}
+		})
+	})
+	sched.Spawn(0, func(th tmapi.Thread) {
+		for i := 0; i < 20; i++ {
+			th.Work(400)
+			th.Atomic(func(tx tmapi.Txn) { tx.Load(x) })
+		}
+	})
+	if blocked := sched.Run(); blocked != 0 {
+		t.Fatalf("%d threads never finished", blocked)
+	}
+	if v := sys.ReadWordRaw(x); v != 42 {
+		t.Fatalf("x = %d, want 42", v)
+	}
+	if sys.Stats().SummaryTraps == 0 {
+		t.Log("note: no summary traps (reader may have missed the suspended window)")
+	}
+}
+
+func TestSchedulerBankInvariantUnderTimeslicing(t *testing.T) {
+	const cores, threadsPerCore, transfers, accounts, initial = 4, 2, 12, 8, 200
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		sys, rt, sched, _ := schedFixture(mode, cores, 2500)
+		base := sys.Alloc().Alloc(accounts * memory.LineWords)
+		acct := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
+		for i := 0; i < accounts; i++ {
+			sys.Image().WriteWord(acct(i), initial)
+		}
+		seed := uint64(1)
+		for c := 0; c < cores; c++ {
+			for k := 0; k < threadsPerCore; k++ {
+				s := seed
+				seed++
+				sched.Spawn(c, func(th tmapi.Thread) {
+					r := sim.NewRand(s)
+					for j := 0; j < transfers; j++ {
+						from, to := r.Intn(accounts), r.Intn(accounts)
+						amt := uint64(r.Intn(10))
+						th.Atomic(func(tx tmapi.Txn) {
+							f := tx.Load(acct(from))
+							if f < amt {
+								return
+							}
+							tx.Store(acct(from), f-amt)
+							tx.Store(acct(to), tx.Load(acct(to))+amt)
+						})
+						th.Work(300)
+					}
+				})
+			}
+		}
+		if blocked := sched.Run(); blocked != 0 {
+			t.Fatalf("%v: %d threads never finished", mode, blocked)
+		}
+		var total uint64
+		for i := 0; i < accounts; i++ {
+			total += sys.ReadWordRaw(acct(i))
+		}
+		if total != accounts*initial {
+			t.Fatalf("%v: total = %d, want %d", mode, total, accounts*initial)
+		}
+		if s := rt.Stats(); s.Commits != cores*threadsPerCore*transfers {
+			t.Fatalf("%v: commits = %d, want %d", mode, s.Commits, cores*threadsPerCore*transfers)
+		}
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	runOnce := func() (uint64, sim.Time) {
+		sys, rt, sched, e := schedFixture(core.Lazy, 2, 2000)
+		x := sys.Alloc().Alloc(1)
+		for c := 0; c < 2; c++ {
+			for k := 0; k < 2; k++ {
+				sched.Spawn(c, func(th tmapi.Thread) {
+					for j := 0; j < 10; j++ {
+						th.Atomic(func(tx tmapi.Txn) { tx.Store(x, tx.Load(x)+1) })
+						th.Work(700)
+					}
+				})
+			}
+		}
+		sched.Run()
+		_ = rt
+		return sys.ReadWordRaw(x), e.MaxTime()
+	}
+	v1, t1 := runOnce()
+	v2, t2 := runOnce()
+	if v1 != v2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", v1, t1, v2, t2)
+	}
+}

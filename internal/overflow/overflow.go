@@ -1,0 +1,194 @@
+// Package overflow implements FlexTM's per-thread Overflow Table (OT,
+// Section 4.1 of the paper): a set-associative structure in thread-private
+// virtual memory that buffers speculatively-written (TMI) cache lines
+// evicted from the L1, so transactions are unbounded in space.
+//
+// The table is filled by the L1 cache controller in hardware: on a TMI
+// eviction the controller indexes by physical address, claims an empty way,
+// tags the entry with both physical and logical addresses (the logical tag
+// accommodates page-in at commit time), adds the address to the overflow
+// signature Osig, and bumps the overflow count. L1 misses consult Osig; on a
+// hit the entry is fetched back and invalidated. A CAS-Commit sets the
+// Committed flag and triggers a copy-back of every entry to its natural
+// location, in any order — unlike an undo log, which must unwind in reverse.
+package overflow
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/signature"
+)
+
+// DefaultSets and DefaultWays give the initial OT geometry allocated by the
+// first-overflow trap handler. The OS doubles the ways when a set fills.
+const (
+	DefaultSets = 64
+	DefaultWays = 4
+)
+
+type entry struct {
+	valid   bool
+	phys    memory.LineAddr
+	logical memory.LineAddr
+	data    memory.LineData
+}
+
+// Table is one thread's overflow table together with the controller
+// registers that describe it (Figure 2: Osig, overflow count,
+// committed/speculative flag, geometry).
+type Table struct {
+	sets       [][]entry
+	ways       int
+	osig       *signature.Sig
+	count      int
+	committed  bool
+	expansions int
+}
+
+// New returns an empty overflow table. In the machine this corresponds to
+// the OS allocating the OT region and filling the controller registers on
+// the first TMI eviction.
+func New(sets, ways int, sigCfg signature.Config) *Table {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("overflow: invalid geometry")
+	}
+	s := make([][]entry, sets)
+	for i := range s {
+		s[i] = make([]entry, ways)
+	}
+	return &Table{sets: s, ways: ways, osig: signature.New(sigCfg)}
+}
+
+// NewDefault returns an overflow table with the default geometry and the
+// paper's signature configuration.
+func NewDefault() *Table {
+	return New(DefaultSets, DefaultWays, signature.DefaultConfig())
+}
+
+func (t *Table) set(phys memory.LineAddr) []entry {
+	return t.sets[uint64(phys)&uint64(len(t.sets)-1)]
+}
+
+// Insert stores an evicted TMI line. It returns true if the set was full
+// and the OS had to expand the table (a trap in hardware, so the caller
+// should charge extra latency).
+func (t *Table) Insert(phys, logical memory.LineAddr, data memory.LineData) (expanded bool) {
+	set := t.set(phys)
+	for i := range set {
+		if set[i].valid && set[i].phys == phys {
+			// Re-overflow of a line previously fetched back: overwrite.
+			set[i].data = data
+			set[i].logical = logical
+			return false
+		}
+	}
+	for i := range set {
+		if !set[i].valid {
+			set[i] = entry{valid: true, phys: phys, logical: logical, data: data}
+			t.osig.Insert(phys)
+			t.count++
+			return false
+		}
+	}
+	// Way overflow: the OS doubles the ways and retries (Section 4.1).
+	t.expand()
+	t.Insert(phys, logical, data)
+	return true
+}
+
+func (t *Table) expand() {
+	t.ways *= 2
+	for i := range t.sets {
+		grown := make([]entry, t.ways)
+		copy(grown, t.sets[i])
+		t.sets[i] = grown
+	}
+	t.expansions++
+}
+
+// MayContain is the Osig lookaside check performed on every L1 miss while
+// the count is non-zero. False positives are possible.
+func (t *Table) MayContain(phys memory.LineAddr) bool {
+	return t.count > 0 && t.osig.Member(phys)
+}
+
+// LookupInvalidate fetches the entry for phys and invalidates it (the
+// controller's behavior for local misses that hit the OT). The Osig keeps
+// the address — Bloom filters cannot delete — so later probes may false-hit
+// and miss in the table, exactly as in hardware.
+func (t *Table) LookupInvalidate(phys memory.LineAddr) (memory.LineData, bool) {
+	set := t.set(phys)
+	for i := range set {
+		if set[i].valid && set[i].phys == phys {
+			d := set[i].data
+			set[i].valid = false
+			t.count--
+			return d, true
+		}
+	}
+	return memory.LineData{}, false
+}
+
+// Lookup returns the entry for phys without invalidating it (used by remote
+// requests that probe a committed OT during copy-back, and by the OS
+// virtualization handler).
+func (t *Table) Lookup(phys memory.LineAddr) (memory.LineData, bool) {
+	set := t.set(phys)
+	for i := range set {
+		if set[i].valid && set[i].phys == phys {
+			return set[i].data, true
+		}
+	}
+	return memory.LineData{}, false
+}
+
+// Count returns the number of live entries (the controller's overflow
+// count register).
+func (t *Table) Count() int { return t.count }
+
+// Expansions returns how many times the OS expanded the table.
+func (t *Table) Expansions() int { return t.expansions }
+
+// SetCommitted marks the OT contents as committed state: remote requests
+// must now see (or be NACKed for) its lines until copy-back finishes.
+func (t *Table) SetCommitted() { t.committed = true }
+
+// Committed reports the committed/speculative flag.
+func (t *Table) Committed() bool { return t.committed }
+
+// Drain invokes f for every live entry in arbitrary order and empties the
+// table: the controller's micro-coded copy-back. The paper notes this order
+// freedom as an advantage over time-ordered logs.
+func (t *Table) Drain(f func(phys, logical memory.LineAddr, data memory.LineData)) {
+	for si := range t.sets {
+		for wi := range t.sets[si] {
+			e := &t.sets[si][wi]
+			if e.valid {
+				f(e.phys, e.logical, e.data)
+				e.valid = false
+				t.count--
+			}
+		}
+	}
+	t.osig.Clear()
+	t.committed = false
+}
+
+// Discard empties the table without copy-back (abort path: the OT is
+// returned to the OS).
+func (t *Table) Discard() {
+	t.Drain(func(memory.LineAddr, memory.LineAddr, memory.LineData) {})
+}
+
+// RetagPhysical updates the physical tag of the entry for old, if present,
+// to new, and refreshes the Osig. The OS uses this when a logical page is
+// remapped to a different physical frame (Section 4.1, "Virtual Memory
+// Paging").
+func (t *Table) RetagPhysical(old, new memory.LineAddr) bool {
+	data, ok := t.LookupInvalidate(old)
+	if !ok {
+		return false
+	}
+	// Keep the logical tag: only the physical frame moved.
+	t.Insert(new, old, data)
+	return true
+}

@@ -1,0 +1,187 @@
+package overflow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flextm/internal/memory"
+	"flextm/internal/signature"
+)
+
+func tiny() *Table { return New(4, 2, signature.Config{Bits: 512, Banks: 4}) }
+
+func TestInsertLookupInvalidate(t *testing.T) {
+	ot := tiny()
+	ot.Insert(10, 110, memory.LineData{1, 2, 3})
+	if ot.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", ot.Count())
+	}
+	if !ot.MayContain(10) {
+		t.Fatal("Osig missed an inserted line (false negative)")
+	}
+	d, ok := ot.LookupInvalidate(10)
+	if !ok || d[2] != 3 {
+		t.Fatal("LookupInvalidate lost data")
+	}
+	if ot.Count() != 0 {
+		t.Fatal("count not decremented")
+	}
+	if _, ok := ot.LookupInvalidate(10); ok {
+		t.Fatal("entry not invalidated")
+	}
+}
+
+func TestOsigRetainsAfterInvalidate(t *testing.T) {
+	ot := tiny()
+	ot.Insert(10, 10, memory.LineData{})
+	ot.LookupInvalidate(10)
+	// Bloom filters cannot delete: MayContain is allowed to answer either
+	// way once count is 0; with count==0 the fast path must say no.
+	if ot.MayContain(10) {
+		t.Fatal("MayContain with zero count should short-circuit to false")
+	}
+}
+
+func TestWayOverflowExpands(t *testing.T) {
+	ot := tiny() // 4 sets, 2 ways
+	// Lines 0,4,8 map to set 0; third insert into the set must expand.
+	ot.Insert(0, 0, memory.LineData{})
+	ot.Insert(4, 4, memory.LineData{})
+	expanded := ot.Insert(8, 8, memory.LineData{})
+	if !expanded {
+		t.Fatal("way overflow did not report expansion")
+	}
+	if ot.Expansions() != 1 {
+		t.Fatalf("Expansions = %d, want 1", ot.Expansions())
+	}
+	for _, l := range []memory.LineAddr{0, 4, 8} {
+		if _, ok := ot.Lookup(l); !ok {
+			t.Fatalf("line %d lost during expansion", l)
+		}
+	}
+}
+
+func TestReinsertOverwrites(t *testing.T) {
+	ot := tiny()
+	ot.Insert(5, 5, memory.LineData{1})
+	ot.Insert(5, 5, memory.LineData{2})
+	if ot.Count() != 1 {
+		t.Fatalf("Count = %d, want 1 after overwrite", ot.Count())
+	}
+	d, _ := ot.Lookup(5)
+	if d[0] != 2 {
+		t.Fatal("overwrite did not take")
+	}
+}
+
+func TestDrainVisitsEverythingOnce(t *testing.T) {
+	ot := tiny()
+	want := map[memory.LineAddr]uint64{}
+	for i := 0; i < 8; i++ {
+		l := memory.LineAddr(i)
+		ot.Insert(l, l+100, memory.LineData{uint64(i) * 7})
+		want[l] = uint64(i) * 7
+	}
+	got := map[memory.LineAddr]uint64{}
+	ot.Drain(func(phys, logical memory.LineAddr, d memory.LineData) {
+		if logical != phys+100 {
+			t.Errorf("logical tag lost for %d", phys)
+		}
+		got[phys] = d[0]
+	})
+	if len(got) != len(want) {
+		t.Fatalf("drained %d entries, want %d", len(got), len(want))
+	}
+	for l, v := range want {
+		if got[l] != v {
+			t.Fatalf("line %d drained value %d, want %d", l, got[l], v)
+		}
+	}
+	if ot.Count() != 0 || ot.Committed() {
+		t.Fatal("Drain did not reset the table")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	ot := tiny()
+	ot.Insert(1, 1, memory.LineData{9})
+	ot.Discard()
+	if ot.Count() != 0 {
+		t.Fatal("Discard left entries")
+	}
+	if _, ok := ot.Lookup(1); ok {
+		t.Fatal("entry survived Discard")
+	}
+}
+
+func TestCommittedFlag(t *testing.T) {
+	ot := tiny()
+	if ot.Committed() {
+		t.Fatal("fresh table committed")
+	}
+	ot.SetCommitted()
+	if !ot.Committed() {
+		t.Fatal("SetCommitted did not stick")
+	}
+	ot.Drain(func(memory.LineAddr, memory.LineAddr, memory.LineData) {})
+	if ot.Committed() {
+		t.Fatal("Drain must clear committed flag")
+	}
+}
+
+func TestRetagPhysical(t *testing.T) {
+	ot := tiny()
+	ot.Insert(3, 30, memory.LineData{5})
+	if !ot.RetagPhysical(3, 7) {
+		t.Fatal("RetagPhysical failed")
+	}
+	if _, ok := ot.Lookup(3); ok {
+		t.Fatal("old physical tag still present")
+	}
+	d, ok := ot.Lookup(7)
+	if !ok || d[0] != 5 {
+		t.Fatal("retagged entry lost data")
+	}
+	if !ot.MayContain(7) {
+		t.Fatal("Osig not refreshed for new frame")
+	}
+	if ot.RetagPhysical(99, 100) {
+		t.Fatal("RetagPhysical of absent line reported success")
+	}
+}
+
+func TestNoEntryEverLost(t *testing.T) {
+	// Property: inserted lines remain retrievable until invalidated,
+	// regardless of set collisions and expansions.
+	f := func(tags []uint16) bool {
+		ot := New(2, 1, signature.Config{Bits: 256, Banks: 4})
+		live := map[memory.LineAddr]uint64{}
+		for i, tg := range tags {
+			l := memory.LineAddr(tg % 64)
+			ot.Insert(l, l, memory.LineData{uint64(i)})
+			live[l] = uint64(i)
+		}
+		if ot.Count() != len(live) {
+			return false
+		}
+		for l, v := range live {
+			d, ok := ot.Lookup(l)
+			if !ok || d[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid geometry accepted")
+		}
+	}()
+	New(3, 1, signature.DefaultConfig())
+}

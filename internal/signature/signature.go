@@ -1,0 +1,200 @@
+// Package signature implements the Bloom-filter access signatures used by
+// FlexTM to summarize transactional read and write sets (Section 3.1 of the
+// paper, after Bulk and LogTM-SE).
+//
+// The hardware configuration matches the paper's evaluation setup: a
+// 2048-bit filter partitioned into 4 banks, each indexed by an independent
+// H3-class hash of the line address. Signatures are conservative: Member may
+// report false positives but never false negatives, so a miss proves the
+// address was not inserted.
+package signature
+
+import (
+	"math"
+	"math/bits"
+
+	"flextm/internal/memory"
+)
+
+// Default hardware parameters from Table 2 / Section 7.1 of the paper.
+const (
+	// DefaultBits is the total signature width in bits.
+	DefaultBits = 2048
+	// DefaultBanks is the number of independently hashed banks.
+	DefaultBanks = 4
+)
+
+// Config describes a signature's geometry.
+type Config struct {
+	Bits  int // total width; must be a multiple of 64*Banks
+	Banks int // number of banks (hash functions)
+}
+
+// DefaultConfig returns the paper's 2048-bit, 4-banked geometry.
+func DefaultConfig() Config { return Config{Bits: DefaultBits, Banks: DefaultBanks} }
+
+// Sig is a Bloom-filter signature over cache-line addresses. The zero value
+// is not usable; call New.
+type Sig struct {
+	cfg      Config
+	bankBits int
+	words    []uint64 // Bits/64 words, bank-major
+	inserts  int
+}
+
+// New returns an empty signature with the given geometry.
+func New(cfg Config) *Sig {
+	if cfg.Banks <= 0 || cfg.Bits <= 0 || cfg.Bits%(64*cfg.Banks) != 0 {
+		panic("signature: invalid config")
+	}
+	bankBits := cfg.Bits / cfg.Banks
+	if bankBits&(bankBits-1) != 0 {
+		panic("signature: bank size must be a power of two")
+	}
+	return &Sig{cfg: cfg, bankBits: bankBits, words: make([]uint64, cfg.Bits/64)}
+}
+
+// NewDefault returns an empty signature with the paper's geometry.
+func NewDefault() *Sig { return New(DefaultConfig()) }
+
+// h3 mixes a line address with a per-bank constant. The multiply-xorshift
+// construction approximates the H3 hash family used in hardware signature
+// studies; what matters for fidelity is independence across banks.
+var bankSalts = [...]uint64{
+	0x9E3779B97F4A7C15, 0xC2B2AE3D27D4EB4F, 0x165667B19E3779F9, 0x27D4EB2F165667C5,
+	0x85EBCA77C2B2AE63, 0xFF51AFD7ED558CCD, 0xC4CEB9FE1A85EC53, 0x2545F4914F6CDD1D,
+}
+
+func h3(l memory.LineAddr, bank int) uint64 {
+	x := uint64(l) * bankSalts[bank%len(bankSalts)]
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 29
+	return x
+}
+
+func (s *Sig) bit(l memory.LineAddr, bank int) (word, mask int) {
+	h := h3(l, bank) & uint64(s.bankBits-1)
+	idx := bank*s.bankBits + int(h)
+	return idx / 64, idx % 64
+}
+
+// Insert adds a line address to the signature (the paper's "insert [%r],Sig"
+// instruction, Table 4a).
+func (s *Sig) Insert(l memory.LineAddr) {
+	for b := 0; b < s.cfg.Banks; b++ {
+		w, m := s.bit(l, b)
+		s.words[w] |= 1 << m
+	}
+	s.inserts++
+}
+
+// Member reports whether l may have been inserted (the paper's "member"
+// instruction). False positives are possible; false negatives are not.
+func (s *Sig) Member(l memory.LineAddr) bool {
+	for b := 0; b < s.cfg.Banks; b++ {
+		w, m := s.bit(l, b)
+		if s.words[w]&(1<<m) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear zeroes the signature (the paper's "clear" instruction; in hardware a
+// flash clear).
+func (s *Sig) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+	s.inserts = 0
+}
+
+// Union ORs other into s. The OS uses this to build the summary signatures
+// (RSsig/WSsig) installed at the directory when a transaction is suspended
+// (Section 5). Geometries must match.
+func (s *Sig) Union(other *Sig) {
+	if s.cfg != other.cfg {
+		panic("signature: Union of mismatched geometries")
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+	s.inserts += other.inserts
+}
+
+// CopyFrom overwrites s with other's contents (used when the OS restores a
+// rescheduled transaction's signatures to the core, Section 5).
+func (s *Sig) CopyFrom(other *Sig) {
+	if s.cfg != other.cfg {
+		panic("signature: CopyFrom mismatched geometries")
+	}
+	copy(s.words, other.words)
+	s.inserts = other.inserts
+}
+
+// Clone returns an independent copy of s.
+func (s *Sig) Clone() *Sig {
+	n := New(s.cfg)
+	n.CopyFrom(s)
+	return n
+}
+
+// Empty reports whether no address has been inserted since the last Clear.
+func (s *Sig) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PopCount returns the number of set bits (occupancy).
+func (s *Sig) PopCount() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Inserts returns the number of Insert calls since the last Clear
+// (an upper bound on distinct lines inserted).
+func (s *Sig) Inserts() int { return s.inserts }
+
+// ReadHash returns the concatenated per-bank hash of l (the paper's
+// "read-hash" instruction), useful to software that wants to reuse the
+// hardware hash, e.g. for overflow-table indexing.
+func (s *Sig) ReadHash(l memory.LineAddr) uint64 {
+	var h uint64
+	for b := 0; b < s.cfg.Banks; b++ {
+		h = h<<16 | (h3(l, b) & uint64(s.bankBits-1))
+	}
+	return h
+}
+
+// FalsePositiveRate estimates the probability that Member returns true for
+// an address never inserted, given n distinct insertions, using the standard
+// partitioned-Bloom-filter formula. Used by the signature-width ablation.
+func FalsePositiveRate(cfg Config, n int) float64 {
+	bankBits := float64(cfg.Bits / cfg.Banks)
+	p := 1 - math.Pow(1-1/bankBits, float64(n))
+	return math.Pow(p, float64(cfg.Banks))
+}
+
+// Intersects reports whether the two signatures may share an inserted
+// address. A false result is definitive: inserting the same line sets the
+// same bit positions in both filters, so a zero bitwise AND proves the
+// inserted sets are disjoint. A true result may be a false positive.
+func (s *Sig) Intersects(other *Sig) bool {
+	if s.cfg != other.cfg {
+		panic("signature: Intersects with mismatched geometries")
+	}
+	for i, w := range s.words {
+		if w&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,225 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine models a chip multiprocessor as a set of hardware threads, each
+// executed by a Go goroutine that is resumed one at a time in virtual-time
+// order. A thread runs uninterrupted between synchronization points (memory
+// operations); at each such point it yields control back to the engine, which
+// resumes the thread with the smallest virtual clock. Ties are broken by
+// thread id, so a simulation is bit-deterministic for a given configuration
+// and seed.
+//
+// Because exactly one thread (or the engine) runs at any instant, simulated
+// machine state needs no locking: every structure in the memory system is
+// touched only by the currently-resumed thread.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in processor cycles.
+type Time = uint64
+
+// Ctx is the execution context of one simulated hardware thread. All methods
+// must be called from the goroutine running the thread's body.
+type Ctx struct {
+	id     int
+	name   string
+	now    Time
+	engine *Engine
+	resume chan struct{}
+	// state flags, owned by the engine/running thread (never concurrent)
+	finished bool
+	blocked  bool
+	inHeap   bool
+	// descheduleReq is set by another thread (e.g. an OS scheduler model) to
+	// ask this thread to park at its next synchronization point.
+	descheduleReq bool
+	parkNotify    func(*Ctx)
+}
+
+// ID returns the thread's identifier (also its heap tie-breaker).
+func (c *Ctx) ID() int { return c.id }
+
+// Name returns the thread's diagnostic name.
+func (c *Ctx) Name() string { return c.name }
+
+// Now returns the thread's local virtual clock.
+func (c *Ctx) Now() Time { return c.now }
+
+// Advance moves the thread's local clock forward by d cycles without
+// yielding. Use it for computation that touches no shared simulated state.
+func (c *Ctx) Advance(d Time) { c.now += d }
+
+// Sync yields to the engine until this thread is globally the earliest
+// runnable thread. Call it immediately before touching shared simulated
+// state (the memory system calls it on every operation).
+func (c *Ctx) Sync() {
+	if c.descheduleReq {
+		c.park()
+	}
+	c.yield()
+}
+
+// Block parks the thread indefinitely; another thread must call
+// Engine.Unblock to make it runnable again. The thread's clock is advanced
+// to the unblock time if that is later.
+func (c *Ctx) Block() {
+	c.blocked = true
+	c.yield()
+}
+
+// park honors a pending deschedule request: it notifies the requester and
+// blocks until rescheduled.
+func (c *Ctx) park() {
+	c.descheduleReq = false
+	notify := c.parkNotify
+	c.parkNotify = nil
+	if notify != nil {
+		notify(c)
+	}
+	c.Block()
+}
+
+// yield hands control to the engine. If the thread is not blocked it is
+// reinserted into the run queue first.
+func (c *Ctx) yield() {
+	if !c.blocked {
+		c.engine.push(c)
+	}
+	c.engine.yieldCh <- c
+	<-c.resume
+}
+
+// Engine is a discrete-event scheduler over a set of simulated threads.
+type Engine struct {
+	threads []*Ctx
+	ready   ctxHeap
+	yieldCh chan *Ctx
+	running bool
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{yieldCh: make(chan *Ctx)}
+}
+
+// Spawn creates a simulated thread that will run body starting at virtual
+// time start. The body does not begin executing until Run is called.
+func (e *Engine) Spawn(name string, start Time, body func(*Ctx)) *Ctx {
+	if e.running {
+		panic("sim: Spawn while engine is running")
+	}
+	c := &Ctx{
+		id:     len(e.threads),
+		name:   name,
+		now:    start,
+		engine: e,
+		resume: make(chan struct{}),
+	}
+	e.threads = append(e.threads, c)
+	go func() {
+		<-c.resume
+		body(c)
+		c.finished = true
+		e.yieldCh <- c
+	}()
+	e.push(c)
+	return c
+}
+
+// Unblock makes a blocked thread runnable again no earlier than time at.
+// It must be called from a running simulated thread or before Run.
+func (e *Engine) Unblock(c *Ctx, at Time) {
+	if !c.blocked {
+		panic(fmt.Sprintf("sim: Unblock(%s): thread is not blocked", c.name))
+	}
+	c.blocked = false
+	if c.now < at {
+		c.now = at
+	}
+	e.push(c)
+}
+
+// RequestPark asks thread c to park at its next synchronization point.
+// notify, if non-nil, runs in c's goroutine just before it blocks; use it to
+// save state and to learn the park time. If c is the calling thread the park
+// happens at its next Sync.
+func (e *Engine) RequestPark(c *Ctx, notify func(*Ctx)) {
+	if c.finished || c.blocked {
+		return
+	}
+	c.descheduleReq = true
+	c.parkNotify = notify
+}
+
+// Run executes threads in virtual-time order until every thread has finished
+// or blocked. It returns the number of threads left blocked (0 means all ran
+// to completion).
+func (e *Engine) Run() int {
+	e.running = true
+	defer func() { e.running = false }()
+	for e.ready.Len() > 0 {
+		c := e.pop()
+		c.resume <- struct{}{}
+		<-e.yieldCh
+	}
+	blocked := 0
+	for _, c := range e.threads {
+		if c.blocked && !c.finished {
+			blocked++
+		}
+	}
+	return blocked
+}
+
+// MaxTime returns the largest local clock across all threads: the makespan
+// of the simulation.
+func (e *Engine) MaxTime() Time {
+	var m Time
+	for _, c := range e.threads {
+		if c.now > m {
+			m = c.now
+		}
+	}
+	return m
+}
+
+// Threads returns the threads spawned so far, in id order.
+func (e *Engine) Threads() []*Ctx { return e.threads }
+
+func (e *Engine) push(c *Ctx) {
+	if c.inHeap {
+		panic(fmt.Sprintf("sim: thread %s pushed twice", c.name))
+	}
+	c.inHeap = true
+	heap.Push(&e.ready, c)
+}
+
+func (e *Engine) pop() *Ctx {
+	c := heap.Pop(&e.ready).(*Ctx)
+	c.inHeap = false
+	return c
+}
+
+// ctxHeap orders threads by (now, id).
+type ctxHeap []*Ctx
+
+func (h ctxHeap) Len() int { return len(h) }
+func (h ctxHeap) Less(i, j int) bool {
+	if h[i].now != h[j].now {
+		return h[i].now < h[j].now
+	}
+	return h[i].id < h[j].id
+}
+func (h ctxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ctxHeap) Push(x interface{}) { *h = append(*h, x.(*Ctx)) }
+func (h *ctxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleThreadRunsToCompletion(t *testing.T) {
+	e := NewEngine()
+	var steps int
+	e.Spawn("solo", 0, func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			c.Advance(5)
+			c.Sync()
+			steps++
+		}
+	})
+	if blocked := e.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d, want 0", blocked)
+	}
+	if steps != 10 {
+		t.Fatalf("steps = %d, want 10", steps)
+	}
+	if got := e.MaxTime(); got != 50 {
+		t.Fatalf("MaxTime = %d, want 50", got)
+	}
+}
+
+func TestThreadsInterleaveInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Thread 0 ticks every 10 cycles, thread 1 every 3: events must appear
+	// in global time order with ties broken by id.
+	e.Spawn("slow", 0, func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Advance(10)
+			c.Sync()
+			order = append(order, 0)
+		}
+	})
+	e.Spawn("fast", 0, func(c *Ctx) {
+		for i := 0; i < 10; i++ {
+			c.Advance(3)
+			c.Sync()
+			order = append(order, 1)
+		}
+	})
+	e.Run()
+	// Reconstruct event times and check monotonicity.
+	t0, t1 := 0, 0
+	prev := -1
+	for _, id := range order {
+		var at int
+		if id == 0 {
+			t0 += 10
+			at = t0
+		} else {
+			t1 += 3
+			at = t1
+		}
+		if at < prev {
+			t.Fatalf("events out of order: time %d after %d", at, prev)
+		}
+		prev = at
+	}
+	if t0 != 30 || t1 != 30 {
+		t.Fatalf("threads incomplete: t0=%d t1=%d", t0, t1)
+	}
+}
+
+func TestTieBrokenByID(t *testing.T) {
+	e := NewEngine()
+	var first int = -1
+	for i := 0; i < 4; i++ {
+		id := i
+		e.Spawn("t", 0, func(c *Ctx) {
+			c.Sync()
+			if first == -1 {
+				first = id
+			}
+		})
+	}
+	e.Run()
+	if first != 0 {
+		t.Fatalf("first = %d, want 0 (lowest id wins ties)", first)
+	}
+}
+
+func TestBlockUnblock(t *testing.T) {
+	e := NewEngine()
+	var c0 *Ctx
+	var resumedAt Time
+	c0 = e.Spawn("sleeper", 0, func(c *Ctx) {
+		c.Block()
+		resumedAt = c.Now()
+	})
+	e.Spawn("waker", 0, func(c *Ctx) {
+		c.Advance(100)
+		c.Sync()
+		e.Unblock(c0, c.Now())
+	})
+	if blocked := e.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d, want 0", blocked)
+	}
+	if resumedAt != 100 {
+		t.Fatalf("resumedAt = %d, want 100", resumedAt)
+	}
+}
+
+func TestRunReportsPermanentlyBlocked(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("stuck", 0, func(c *Ctx) { c.Block() })
+	if blocked := e.Run(); blocked != 1 {
+		t.Fatalf("blocked = %d, want 1", blocked)
+	}
+}
+
+func TestRequestParkStopsThreadAtSync(t *testing.T) {
+	e := NewEngine()
+	var target *Ctx
+	var parkedAt Time
+	var progress int
+	target = e.Spawn("victim", 0, func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Advance(1)
+			c.Sync()
+			progress++
+		}
+	})
+	e.Spawn("os", 0, func(c *Ctx) {
+		c.Advance(10)
+		c.Sync()
+		e.RequestPark(target, func(v *Ctx) { parkedAt = v.Now() })
+		c.Advance(50)
+		c.Sync()
+		e.Unblock(target, c.Now())
+	})
+	if blocked := e.Run(); blocked != 0 {
+		t.Fatalf("blocked = %d, want 0", blocked)
+	}
+	if progress != 100 {
+		t.Fatalf("progress = %d, want 100 (thread must finish after resume)", progress)
+	}
+	if parkedAt < 10 || parkedAt > 12 {
+		t.Fatalf("parkedAt = %d, want shortly after 10", parkedAt)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var trace []int
+		for i := 0; i < 8; i++ {
+			id := i
+			r := NewRand(uint64(id + 1))
+			e.Spawn("t", 0, func(c *Ctx) {
+				for j := 0; j < 50; j++ {
+					c.Advance(Time(1 + r.Intn(20)))
+					c.Sync()
+					trace = append(trace, id)
+				}
+			})
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandDistribution(t *testing.T) {
+	r := NewRand(42)
+	var buckets [10]int
+	for i := 0; i < 10000; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, n := range buckets {
+		if n < 700 || n > 1300 {
+			t.Fatalf("bucket %d has %d hits; distribution badly skewed", i, n)
+		}
+	}
+}
+
+func TestRandZeroSeedIsUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestRandFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). Each simulated thread owns one so that results are
+// reproducible regardless of scheduling of the host goroutines.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant, since xorshift has an all-zero fixed point).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

@@ -1,0 +1,113 @@
+// Package tmapi defines the runtime-agnostic interface between workloads
+// and transactional-memory runtimes. The paper's workloads (Table 3b) are
+// written once against Txn/Thread and run unmodified on FlexTM, RTM-F,
+// RSTM, TL2, and CGL, exactly as the evaluation requires.
+package tmapi
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+)
+
+// Txn is the view a transaction body has of memory. Loads and stores are
+// transactional: their effects are isolated until commit and are rolled
+// back on abort.
+type Txn interface {
+	// Load returns the word at a with transactional semantics.
+	Load(a memory.Addr) uint64
+	// Store writes the word at a with transactional semantics.
+	Store(a memory.Addr, v uint64)
+	// Abort aborts the current transaction and retries it from the top.
+	Abort()
+}
+
+// Thread is one simulated application thread, bound to a core for the
+// duration of a run.
+type Thread interface {
+	// Atomic executes body as a transaction, retrying on aborts until it
+	// commits. Nested calls follow the subsumption model: an inner Atomic
+	// merges into the outer transaction.
+	Atomic(body func(t Txn))
+	// Load performs an ordinary (non-transactional) load.
+	Load(a memory.Addr) uint64
+	// Store performs an ordinary (non-transactional) store.
+	Store(a memory.Addr, v uint64)
+	// Work advances the thread's clock by d cycles of computation.
+	Work(d sim.Time)
+	// Rand returns the thread's deterministic random source.
+	Rand() *sim.Rand
+	// Core returns the core the thread runs on.
+	Core() int
+	// Ctx returns the simulation context.
+	Ctx() *sim.Ctx
+}
+
+// Runtime is a TM system: it binds threads to cores and reports statistics.
+type Runtime interface {
+	// Name identifies the system in output ("FlexTM", "TL2", ...).
+	Name() string
+	// Bind attaches a simulated thread running on core to the runtime.
+	// Seeds derive from the core id so runs are deterministic.
+	Bind(ctx *sim.Ctx, core int) Thread
+	// Stats returns cumulative runtime statistics.
+	Stats() Stats
+}
+
+// Stats aggregates transaction outcomes across a run.
+type Stats struct {
+	Commits uint64
+	Aborts  uint64
+	// ConflictDegrees has one entry per committed transaction: the number
+	// of distinct processors it had to resolve conflicts with (the metric
+	// of Figure 4's table). Only FlexTM populates it.
+	ConflictDegrees []int
+}
+
+// AbortRate returns aborts per commit.
+func (s Stats) AbortRate() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits)
+}
+
+// MedianMaxConflicts returns the median and maximum conflict degree over
+// committed transactions (the Md/Mx columns of Figure 4's table).
+func (s Stats) MedianMaxConflicts() (md, mx int) {
+	if len(s.ConflictDegrees) == 0 {
+		return 0, 0
+	}
+	// Counting sort: degrees are tiny (0..63).
+	var buckets [65]int
+	for _, d := range s.ConflictDegrees {
+		if d > mx {
+			mx = d
+		}
+		if d > 64 {
+			d = 64
+		}
+		buckets[d]++
+	}
+	half := (len(s.ConflictDegrees) + 1) / 2
+	cum := 0
+	for d, n := range buckets {
+		cum += n
+		if cum >= half {
+			md = d
+			break
+		}
+	}
+	return md, mx
+}
+
+// AbortError is the sentinel carried by the panic that unwinds a
+// transaction body on abort. Runtimes recover it in their retry loops;
+// anything else is re-panicked.
+type AbortError struct {
+	// UserRequested distinguishes Txn.Abort from conflict-induced aborts.
+	UserRequested bool
+}
+
+// Error implements error for diagnostics; AbortError normally never
+// escapes a runtime.
+func (a AbortError) Error() string { return "transaction aborted" }

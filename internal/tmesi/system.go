@@ -1,0 +1,275 @@
+// Package tmesi implements the FlexTM memory system: a 16-core CMP with
+// private L1 caches and a shared L2, running the TMESI directory coherence
+// protocol of Figure 1 in the paper — MESI extended with the PDI states TMI
+// and TI, Bloom-filter access signatures, conflict summary tables,
+// alert-on-update, and hardware-filled overflow tables.
+//
+// The simulator is functional + timing: every operation is executed
+// atomically at the granularity of one memory operation (the sim engine
+// resumes one thread at a time in virtual-time order), which removes
+// protocol transients while preserving all architectural behaviour the
+// paper depends on — Threatened/Exposed-Read responses, CST updates on both
+// requestor and responder, multiple concurrent TMI owners, flash
+// commit/abort, and overflow spill/fetch. Directory forwarding is modeled
+// as one parallel probe round filtered by cache residency and signatures;
+// because FlexTM's sharer lists are deliberately conservative and sticky
+// (Section 4.1), this yields identical conflict outcomes.
+package tmesi
+
+import (
+	"fmt"
+
+	"flextm/internal/aou"
+	"flextm/internal/cache"
+	"flextm/internal/cst"
+	"flextm/internal/memory"
+	"flextm/internal/overflow"
+	"flextm/internal/signature"
+	"flextm/internal/sim"
+)
+
+// Config fixes the machine geometry and latency model. Defaults follow
+// Table 3(a) of the paper.
+type Config struct {
+	Cores int
+
+	L1     cache.Config
+	L2Sets int
+	L2Ways int
+	Sig    signature.Config
+	OTSets int
+	OTWays int
+
+	// Latencies, in cycles.
+	L1Hit        sim.Time // L1 access
+	L2Hit        sim.Time // L2 bank access
+	MemLat       sim.Time // DRAM access on L2 miss
+	NetHop       sim.Time // one interconnect link
+	NetHops      int      // hops from core to L2 (4-ary tree over 16 cores: 2)
+	OTAccess     sim.Time // overflow-table walk by the controller
+	TrapLat      sim.Time // entry into a software handler (alert, OT alloc, summary)
+	DrainPerLine sim.Time // OT copy-back occupancy per line (delays conflicting peers)
+}
+
+// DefaultConfig returns the paper's 16-way CMP configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        16,
+		L1:           cache.DefaultL1Config(),
+		L2Sets:       16384, // 8 MB, 8-way, 64 B lines
+		L2Ways:       8,
+		Sig:          signature.DefaultConfig(),
+		OTSets:       overflow.DefaultSets,
+		OTWays:       overflow.DefaultWays,
+		L1Hit:        1,
+		L2Hit:        20,
+		MemLat:       250,
+		NetHop:       1,
+		NetHops:      2,
+		OTAccess:     40,
+		TrapLat:      50,
+		DrainPerLine: 10,
+	}
+}
+
+// ResponseMsg is the signature-based response type a responder appends to a
+// forwarded request (Figure 1's table).
+type ResponseMsg int
+
+const (
+	// Shared / Invalidated: no conflict.
+	NoConflict ResponseMsg = iota
+	// Threatened: the requested line hit the responder's write signature.
+	Threatened
+	// ExposedRead: the requested line hit the responder's read signature
+	// (write requests only).
+	ExposedRead
+)
+
+// String returns the paper's message name.
+func (m ResponseMsg) String() string {
+	switch m {
+	case NoConflict:
+		return "Shared/Invalidated"
+	case Threatened:
+		return "Threatened"
+	case ExposedRead:
+		return "Exposed-Read"
+	}
+	return fmt.Sprintf("ResponseMsg(%d)", int(m))
+}
+
+// Conflict describes one conflicting response received by the requestor of
+// a coherence request. In eager mode the runtime passes these to the
+// conflict manager; in lazy mode they have already been absorbed into the
+// CSTs and can be ignored.
+type Conflict struct {
+	Responder int
+	Msg       ResponseMsg
+	Suspended bool // conflict found via the summary signatures (descheduled txn)
+}
+
+// OpResult is the outcome of one memory operation.
+type OpResult struct {
+	Val       uint64
+	Conflicts []Conflict
+	WatchHit  bool // local access hit an activated watch signature (FlexWatcher)
+}
+
+// Stats aggregates machine-level event counts.
+type Stats struct {
+	Loads, Stores         uint64
+	TLoads, TStores       uint64
+	L1Hits, L1Misses      uint64
+	L2Misses              uint64
+	Probes                uint64
+	ThreatenedResponses   uint64
+	ExposedReadResponses  uint64
+	StrongIsolationAborts uint64
+	Overflows             uint64 // TMI lines spilled to an OT
+	OTFetches             uint64 // lines fetched back from an OT
+	OTAllocs              uint64 // first-overflow traps
+	Alerts                uint64 // AOU alerts delivered
+	FlashCommits          uint64
+	FlashAborts           uint64
+	CASCommitCSTFails     uint64
+	SummaryTraps          uint64
+}
+
+type coreState struct {
+	l1        *cache.Cache
+	rsig      *signature.Sig
+	wsig      *signature.Sig
+	table     cst.Table
+	ot        *overflow.Table
+	txnActive bool
+
+	// AOU state: pending alerts and the count of A-marked lines.
+	alerts aou.Unit
+
+	// FlexWatcher: when true, every local access is tested against the
+	// (activated) Rsig/Wsig and reports a WatchHit.
+	sigWatch bool
+
+	// Copy-back window: requests to lines in drainSig before drainUntil
+	// stall behind the committed OT's copy-back.
+	drainSig   *signature.Sig
+	drainUntil sim.Time
+}
+
+// System is the simulated memory system shared by all cores.
+type System struct {
+	cfg   Config
+	image *memory.Image
+	alloc *memory.Allocator
+	cores []coreState
+	l2    *cache.TagCache
+	stats Stats
+
+	// Summary signatures installed at the directory for descheduled
+	// transactions (Section 5), plus the handler the L2 traps into.
+	summaryR    *signature.Sig
+	summaryW    *signature.Sig
+	summaryHook func(requestor int, line memory.LineAddr, write bool) []Conflict
+
+	// strongIsolationHook is invoked when a non-transactional access
+	// conflicts with core's active transaction (Section 3.5); the TM
+	// runtime uses it to abort the victim's transaction.
+	strongIsolationHook func(victim int)
+}
+
+// New returns a memory system with the given configuration over a fresh
+// committed image.
+func New(cfg Config) *System {
+	if cfg.Cores <= 0 || cfg.Cores > 64 {
+		panic("tmesi: core count must be in 1..64")
+	}
+	s := &System{
+		cfg:   cfg,
+		image: memory.NewImage(),
+		alloc: memory.NewAllocator(),
+		cores: make([]coreState, cfg.Cores),
+		l2:    cache.NewTagCache(cfg.L2Sets, cfg.L2Ways),
+	}
+	for i := range s.cores {
+		s.cores[i] = coreState{
+			l1:   cache.New(cfg.L1),
+			rsig: signature.New(cfg.Sig),
+			wsig: signature.New(cfg.Sig),
+		}
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Image exposes the committed memory image for zero-cost setup and
+// verification (test/benchmark plumbing, not an architectural path).
+func (s *System) Image() *memory.Image { return s.image }
+
+// Alloc exposes the simulated heap allocator.
+func (s *System) Alloc() *memory.Allocator { return s.alloc }
+
+// Stats returns a snapshot of the machine counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// CST returns core's conflict summary tables; they are software-visible
+// registers in FlexTM.
+func (s *System) CST(core int) *cst.Table { return &s.cores[core].table }
+
+// Rsig returns core's read signature (software-visible).
+func (s *System) Rsig(core int) *signature.Sig { return s.cores[core].rsig }
+
+// Wsig returns core's write signature (software-visible).
+func (s *System) Wsig(core int) *signature.Sig { return s.cores[core].wsig }
+
+// OT returns core's overflow table, or nil if none has been allocated.
+func (s *System) OT(core int) *overflow.Table { return s.cores[core].ot }
+
+// TxnActive reports whether core is in transactional mode.
+func (s *System) TxnActive(core int) bool { return s.cores[core].txnActive }
+
+// SetStrongIsolationHook registers the runtime callback used to abort a
+// transaction whose read/write set conflicts with a non-transactional
+// access. The hook must not issue simulated memory operations; it should
+// manipulate software state directly (e.g. via ForceWord).
+func (s *System) SetStrongIsolationHook(h func(victim int)) { s.strongIsolationHook = h }
+
+// InstallSummary installs (or, with nils, removes) the directory's summary
+// signatures and the software handler the L2 traps into when an L1 miss
+// hits them (Section 5).
+func (s *System) InstallSummary(rs, ws *signature.Sig, hook func(requestor int, line memory.LineAddr, write bool) []Conflict) {
+	s.summaryR, s.summaryW, s.summaryHook = rs, ws, hook
+}
+
+// BeginTxn puts core into transactional mode. Signatures and CSTs are
+// expected to be clear (they are after CASCommit/AbortFlash).
+func (s *System) BeginTxn(core int) {
+	c := &s.cores[core]
+	if c.txnActive {
+		panic(fmt.Sprintf("tmesi: BeginTxn on core %d with active transaction", core))
+	}
+	c.txnActive = true
+}
+
+// netLat is the one-way core-to-L2 network latency.
+func (s *System) netLat() sim.Time {
+	return sim.Time(s.cfg.NetHops) * s.cfg.NetHop
+}
+
+// l2Round is the round-trip latency of an L1 miss serviced at the L2.
+func (s *System) l2Round() sim.Time { return 2*s.netLat() + s.cfg.L2Hit }
+
+// probeRound is the extra latency of one parallel forwarding round to other
+// L1s (forward, tag/signature check, response).
+func (s *System) probeRound() sim.Time { return 2*s.netLat() + s.cfg.L1Hit }
+
+// LineState reports the L1 state of line in core's cache (Invalid if not
+// resident). It exists for tests and diagnostics.
+func (s *System) LineState(core int, line memory.LineAddr) cache.State {
+	if ln := s.cores[core].l1.Lookup(line); ln != nil {
+		return ln.State
+	}
+	return cache.Invalid
+}

@@ -1,0 +1,165 @@
+// Package trace records transaction-level events from a TM run and
+// summarizes them: commit/abort latencies, retry distributions, and
+// conflict outcomes. The harness and cmd/flextm use it for post-mortem
+// analysis of policy behavior (e.g. where eager mode burns its time).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flextm/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	Begin Kind = iota
+	Commit
+	Abort
+	ConflictWait
+	ConflictAbortEnemy
+	ConflictAbortSelf
+)
+
+// String returns the event name.
+func (k Kind) String() string {
+	switch k {
+	case Begin:
+		return "begin"
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	case ConflictWait:
+		return "wait"
+	case ConflictAbortEnemy:
+		return "abort-enemy"
+	case ConflictAbortSelf:
+		return "abort-self"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At    sim.Time
+	Core  int
+	Kind  Kind
+	Enemy int // conflict events: the other processor (-1 otherwise)
+}
+
+// Recorder accumulates events. It is used from simulated threads, which the
+// engine runs one at a time, so no locking is needed.
+type Recorder struct {
+	events []Event
+	// Cap bounds memory for long runs; 0 means unlimited.
+	Cap int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends an event (dropped silently once Cap is reached).
+func (r *Recorder) Add(e Event) {
+	if r.Cap > 0 && len(r.events) >= r.Cap {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Summary aggregates a run's transactional behavior.
+type Summary struct {
+	Commits, Aborts              int
+	Waits, EnemyKills, SelfKills int
+	// AttemptCycles are the durations of every attempt (begin to
+	// commit/abort), sorted ascending.
+	AttemptCycles []sim.Time
+	// RetriesPerCommit[n] counts transactions that needed n aborts before
+	// committing.
+	RetriesPerCommit map[int]int
+}
+
+// Summarize reduces the event stream per core into a Summary.
+func (r *Recorder) Summarize() Summary {
+	s := Summary{RetriesPerCommit: map[int]int{}}
+	type open struct {
+		start   sim.Time
+		retries int
+	}
+	cur := map[int]*open{}
+	for _, e := range r.events {
+		switch e.Kind {
+		case Begin:
+			if o := cur[e.Core]; o != nil {
+				o.start = e.At // retry of the same transaction
+			} else {
+				cur[e.Core] = &open{start: e.At}
+			}
+		case Commit:
+			s.Commits++
+			if o := cur[e.Core]; o != nil {
+				s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
+				s.RetriesPerCommit[o.retries]++
+				delete(cur, e.Core)
+			}
+		case Abort:
+			s.Aborts++
+			if o := cur[e.Core]; o != nil {
+				s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
+				o.retries++
+			}
+		case ConflictWait:
+			s.Waits++
+		case ConflictAbortEnemy:
+			s.EnemyKills++
+		case ConflictAbortSelf:
+			s.SelfKills++
+		}
+	}
+	sort.Slice(s.AttemptCycles, func(i, j int) bool { return s.AttemptCycles[i] < s.AttemptCycles[j] })
+	return s
+}
+
+// Percentile returns the p-th percentile attempt duration (p in [0,100]).
+func (s Summary) Percentile(p float64) sim.Time {
+	if len(s.AttemptCycles) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(s.AttemptCycles)-1))
+	return s.AttemptCycles[idx]
+}
+
+// Print writes a human-readable summary.
+func (s Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "commits %d, aborts %d (%.2f/commit)\n",
+		s.Commits, s.Aborts, float64(s.Aborts)/float64(max(s.Commits, 1)))
+	fmt.Fprintf(w, "conflict handling: %d waits, %d enemy aborts, %d self aborts\n",
+		s.Waits, s.EnemyKills, s.SelfKills)
+	if len(s.AttemptCycles) > 0 {
+		fmt.Fprintf(w, "attempt cycles: p50=%d p90=%d p99=%d max=%d\n",
+			s.Percentile(50), s.Percentile(90), s.Percentile(99),
+			s.AttemptCycles[len(s.AttemptCycles)-1])
+	}
+	var retries []int
+	for n := range s.RetriesPerCommit {
+		retries = append(retries, n)
+	}
+	sort.Ints(retries)
+	for _, n := range retries {
+		fmt.Fprintf(w, "  %d retries: %d txns\n", n, s.RetriesPerCommit[n])
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasicLifecycle(t *testing.T) {
+	r := NewRecorder()
+	// Core 0: begin -> abort -> begin(retry) -> commit.
+	r.Add(Event{At: 0, Core: 0, Kind: Begin})
+	r.Add(Event{At: 100, Core: 0, Kind: Abort})
+	r.Add(Event{At: 150, Core: 0, Kind: Begin})
+	r.Add(Event{At: 400, Core: 0, Kind: Commit})
+	// Core 1: clean commit.
+	r.Add(Event{At: 10, Core: 1, Kind: Begin})
+	r.Add(Event{At: 60, Core: 1, Kind: Commit})
+
+	s := r.Summarize()
+	if s.Commits != 2 || s.Aborts != 1 {
+		t.Fatalf("commits=%d aborts=%d", s.Commits, s.Aborts)
+	}
+	if s.RetriesPerCommit[1] != 1 || s.RetriesPerCommit[0] != 1 {
+		t.Fatalf("retries histogram = %v", s.RetriesPerCommit)
+	}
+	if len(s.AttemptCycles) != 3 {
+		t.Fatalf("attempt samples = %d, want 3", len(s.AttemptCycles))
+	}
+	if s.AttemptCycles[0] != 50 || s.AttemptCycles[2] != 250 {
+		t.Fatalf("attempt cycles = %v", s.AttemptCycles)
+	}
+}
+
+func TestConflictCounters(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Kind: ConflictWait, Enemy: 2})
+	r.Add(Event{Kind: ConflictWait, Enemy: 2})
+	r.Add(Event{Kind: ConflictAbortEnemy, Enemy: 2})
+	r.Add(Event{Kind: ConflictAbortSelf, Enemy: 3})
+	s := r.Summarize()
+	if s.Waits != 2 || s.EnemyKills != 1 || s.SelfKills != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	s := Summary{AttemptCycles: []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}}
+	if p := s.Percentile(0); p != 10 {
+		t.Fatalf("p0 = %d", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := s.Percentile(50); p < 40 || p > 60 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if (Summary{}).Percentile(50) != 0 {
+		t.Fatal("empty summary percentile should be 0")
+	}
+}
+
+func TestCapBoundsMemory(t *testing.T) {
+	r := NewRecorder()
+	r.Cap = 5
+	for i := 0; i < 100; i++ {
+		r.Add(Event{At: uint64(i)})
+	}
+	if len(r.Events()) != 5 {
+		t.Fatalf("events = %d, want 5", len(r.Events()))
+	}
+}
+
+func TestPrintHumanReadable(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{At: 0, Core: 0, Kind: Begin})
+	r.Add(Event{At: 80, Core: 0, Kind: Commit})
+	var buf bytes.Buffer
+	r.Summarize().Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"commits 1", "attempt cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Begin; k <= ConflictAbortSelf; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// Delaunay models the paper's Delaunay triangulation benchmark (Scott et
+// al., IISWC 2007): the solve is fundamentally data parallel — each thread
+// triangulates its own geometric region, spending less than 5% of its time
+// in transactions — and memory-bandwidth bound; transactions only "stitch"
+// the seams between adjacent regions.
+//
+// The model: each Op streams through a private region of memory (the
+// sequential solver, plain loads/stores that generate real cache and
+// memory traffic), then runs one short transaction appending a stitched
+// edge to the seam ledger shared with the neighboring region.
+type Delaunay struct {
+	regions memory.Addr // per-core private work areas
+	seams   memory.Addr // per-seam line: word0 = count, word1 = checksum
+	alloc   *memory.Allocator
+}
+
+// Delaunay model parameters.
+const (
+	dlRegionLines = 64 // private lines streamed per operation
+	dlSeams       = 64
+	dlMaxCores    = 64
+)
+
+// NewDelaunay returns an unconfigured Delaunay; call Setup.
+func NewDelaunay() *Delaunay { return &Delaunay{} }
+
+// Name implements Workload.
+func (w *Delaunay) Name() string { return "Delaunay" }
+
+// Setup implements Workload.
+func (w *Delaunay) Setup(env *Env) {
+	w.alloc = env.Alloc
+	w.regions = env.Alloc.Alloc(dlMaxCores * dlRegionLines * memory.LineWords)
+	w.seams = env.Alloc.Alloc(dlSeams * memory.LineWords)
+}
+
+func (w *Delaunay) region(core int) memory.Addr {
+	return w.regions + memory.Addr((core%dlMaxCores)*dlRegionLines*memory.LineWords)
+}
+
+func (w *Delaunay) seam(i int) memory.Addr {
+	return w.seams + memory.Addr((i%dlSeams)*memory.LineWords)
+}
+
+// Op implements Workload: a bandwidth-bound private phase, then one small
+// stitch transaction on a seam shared with a neighbor region.
+func (w *Delaunay) Op(th tmapi.Thread) {
+	r := th.Rand()
+	base := w.region(th.Core())
+	// Private triangulation: stream the region, read-modify-write.
+	for i := 0; i < dlRegionLines; i++ {
+		a := base + memory.Addr(i*memory.LineWords)
+		v := th.Load(a)
+		th.Work(4) // geometric computation between memory touches
+		th.Store(a, v+1)
+	}
+	// Stitch one seam edge transactionally.
+	seam := w.seam(th.Core() + r.Intn(2)) // shared with one neighbor
+	edge := r.Uint64() >> 32
+	th.Atomic(func(tx tmapi.Txn) {
+		tx.Store(seam+0, tx.Load(seam+0)+1)
+		tx.Store(seam+1, tx.Load(seam+1)+edge)
+	})
+}
+
+// Verify implements Workload: at least one seam was stitched (per-seam
+// counts are checked against commits by the harness tests).
+func (w *Delaunay) Verify(env *Env) error {
+	total := uint64(0)
+	for i := 0; i < dlSeams; i++ {
+		total += env.Read(w.seam(i) + 0)
+	}
+	if total == 0 {
+		return fmt.Errorf("delaunay: no seams stitched")
+	}
+	return nil
+}

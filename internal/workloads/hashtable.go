@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// HashTable is the paper's HashTable benchmark: transactions look up,
+// insert, or delete (1/3 each) a value in 0..255 in a 256-bucket table with
+// overflow chains. Conflicts are rare, so it scales nearly linearly.
+type HashTable struct {
+	buckets memory.Addr // 256 bucket-head words, one per cache line
+	alloc   *memory.Allocator
+}
+
+// Hash-table geometry from Table 3(b).
+const (
+	htBuckets  = 256
+	htKeyRange = 256
+)
+
+// Chain node layout: word 0 = key, word 1 = value, word 2 = next.
+const (
+	htKey = iota
+	htVal
+	htNext
+)
+
+// NewHashTable returns an unconfigured HashTable; call Setup.
+func NewHashTable() *HashTable { return &HashTable{} }
+
+// Name implements Workload.
+func (h *HashTable) Name() string { return "HashTable" }
+
+// Setup implements Workload: allocates the bucket array and warms it with
+// half the key range, as the paper's single-threaded warm-up does.
+func (h *HashTable) Setup(env *Env) {
+	h.alloc = env.Alloc
+	h.buckets = env.Alloc.Alloc(htBuckets * memory.LineWords)
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	for k := uint64(0); k < htKeyRange; k += 2 {
+		h.insert(a.tx, k, k*10)
+	}
+}
+
+func (h *HashTable) bucketOf(key uint64) memory.Addr {
+	return h.buckets + memory.Addr((key%htBuckets)*memory.LineWords)
+}
+
+func (h *HashTable) lookup(tx tmapi.Txn, key uint64) (uint64, bool) {
+	n := memory.Addr(tx.Load(h.bucketOf(key)))
+	for n != 0 {
+		if tx.Load(n+htKey) == key {
+			return tx.Load(n + htVal), true
+		}
+		n = memory.Addr(tx.Load(n + htNext))
+	}
+	return 0, false
+}
+
+func (h *HashTable) insert(tx tmapi.Txn, key, val uint64) bool {
+	head := h.bucketOf(key)
+	n := memory.Addr(tx.Load(head))
+	for m := n; m != 0; m = memory.Addr(tx.Load(m + htNext)) {
+		if tx.Load(m+htKey) == key {
+			return false
+		}
+	}
+	fresh := h.alloc.Alloc(memory.LineWords)
+	tx.Store(fresh+htKey, key)
+	tx.Store(fresh+htVal, val)
+	tx.Store(fresh+htNext, uint64(n))
+	tx.Store(head, uint64(fresh))
+	return true
+}
+
+func (h *HashTable) remove(tx tmapi.Txn, key uint64) bool {
+	head := h.bucketOf(key)
+	prev := memory.Addr(0)
+	n := memory.Addr(tx.Load(head))
+	for n != 0 {
+		if tx.Load(n+htKey) == key {
+			next := tx.Load(n + htNext)
+			if prev == 0 {
+				tx.Store(head, next)
+			} else {
+				tx.Store(prev+htNext, next)
+			}
+			return true
+		}
+		prev = n
+		n = memory.Addr(tx.Load(n + htNext))
+	}
+	return false
+}
+
+// Op implements Workload: one lookup/insert/delete transaction.
+func (h *HashTable) Op(th tmapi.Thread) {
+	r := th.Rand()
+	key := uint64(r.Intn(htKeyRange))
+	op := r.Intn(3)
+	th.Atomic(func(tx tmapi.Txn) {
+		th.Work(60) // hashing and compare instructions (1-IPC cores)
+		switch op {
+		case 0:
+			h.lookup(tx, key)
+		case 1:
+			h.insert(tx, key, key*10)
+		default:
+			h.remove(tx, key)
+		}
+	})
+}
+
+// Verify implements Workload: every chained key hashes to its bucket and
+// appears at most once.
+func (h *HashTable) Verify(env *Env) error {
+	for b := 0; b < htBuckets; b++ {
+		head := h.buckets + memory.Addr(b*memory.LineWords)
+		seen := map[uint64]bool{}
+		steps := 0
+		for n := memory.Addr(env.Read(head)); n != 0; n = memory.Addr(env.Read(n + htNext)) {
+			if steps++; steps > 1<<16 {
+				return fmt.Errorf("hashtable: cycle in bucket %d", b)
+			}
+			k := env.Read(n + htKey)
+			if int(k%htBuckets) != b {
+				return fmt.Errorf("hashtable: key %d in bucket %d", k, b)
+			}
+			if seen[k] {
+				return fmt.Errorf("hashtable: duplicate key %d", k)
+			}
+			seen[k] = true
+		}
+	}
+	return nil
+}

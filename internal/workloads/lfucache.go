@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// LFUCache simulates a web cache, following the paper's description: a
+// large (2048-entry) array index plus a smaller (255-entry) priority heap
+// ordered by page access frequency. Page accesses follow a Zipf
+// distribution, so transactions collide on the hottest heap entries and the
+// workload does not scale (Figure 4c); lazy conflict management merely
+// keeps it from degrading (Figure 5c).
+type LFUCache struct {
+	index memory.Addr // pageCount words: heap slot + 1, or 0 if not cached
+	heap  memory.Addr // heapSize entries, one line each: word0 page, word1 freq
+	cdf   []float64
+}
+
+// Geometry from Table 3(b).
+const (
+	lfuPages    = 2048
+	lfuHeapSize = 255
+)
+
+const (
+	heapPage = iota
+	heapFreq
+)
+
+// NewLFUCache returns an unconfigured LFUCache; call Setup.
+func NewLFUCache() *LFUCache { return &LFUCache{} }
+
+// Name implements Workload.
+func (w *LFUCache) Name() string { return "LFUCache" }
+
+// Setup implements Workload: the heap starts filled with the first pages at
+// frequency 0, and the Zipf CDF (p(i) ∝ i^-2) is precomputed.
+func (w *LFUCache) Setup(env *Env) {
+	w.index = env.Alloc.Alloc(lfuPages)
+	w.heap = env.Alloc.Alloc(lfuHeapSize * memory.LineWords)
+	for i := 0; i < lfuHeapSize; i++ {
+		env.Write(w.heapSlot(i)+heapPage, uint64(i))
+		env.Write(w.heapSlot(i)+heapFreq, 0)
+		env.Write(w.index+memory.Addr(i), uint64(i+1))
+	}
+	w.cdf = make([]float64, lfuPages)
+	sum := 0.0
+	for i := 1; i <= lfuPages; i++ {
+		sum += 1 / math.Pow(float64(i), 2)
+		w.cdf[i-1] = sum
+	}
+	for i := range w.cdf {
+		w.cdf[i] /= sum
+	}
+}
+
+func (w *LFUCache) heapSlot(i int) memory.Addr {
+	return w.heap + memory.Addr(i*memory.LineWords)
+}
+
+// zipfPage samples a page id with p(i) ∝ i^-2 via binary search on the CDF.
+func (w *LFUCache) zipfPage(f float64) int {
+	lo, hi := 0, lfuPages-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cdf[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Op implements Workload: access one page; on a hit, bump its frequency and
+// sift it down; on a miss, evict the root (least frequently used) and
+// install the new page with frequency 1.
+func (w *LFUCache) Op(th tmapi.Thread) {
+	page := uint64(w.zipfPage(th.Rand().Float64()))
+	th.Atomic(func(tx tmapi.Txn) {
+		th.Work(80) // index lookup + heap bookkeeping instructions
+		slot := tx.Load(w.index + memory.Addr(page))
+		if slot != 0 {
+			i := int(slot - 1)
+			f := tx.Load(w.heapSlot(i) + heapFreq)
+			tx.Store(w.heapSlot(i)+heapFreq, f+1)
+			w.siftDown(tx, i)
+			return
+		}
+		// Miss: replace the LFU page at the heap root.
+		victim := tx.Load(w.heapSlot(0) + heapPage)
+		tx.Store(w.index+memory.Addr(victim), 0)
+		tx.Store(w.heapSlot(0)+heapPage, page)
+		tx.Store(w.heapSlot(0)+heapFreq, 1)
+		tx.Store(w.index+memory.Addr(page), 1)
+		w.siftDown(tx, 0)
+	})
+}
+
+// siftDown restores the min-heap-by-frequency property from index i,
+// keeping the page index in sync as entries swap.
+func (w *LFUCache) siftDown(tx tmapi.Txn, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		fmin := tx.Load(w.heapSlot(min) + heapFreq)
+		if l < lfuHeapSize {
+			if fl := tx.Load(w.heapSlot(l) + heapFreq); fl < fmin {
+				min, fmin = l, fl
+			}
+		}
+		if r < lfuHeapSize {
+			if fr := tx.Load(w.heapSlot(r) + heapFreq); fr < fmin {
+				min = r
+			}
+		}
+		if min == i {
+			return
+		}
+		pi := tx.Load(w.heapSlot(i) + heapPage)
+		pm := tx.Load(w.heapSlot(min) + heapPage)
+		fi := tx.Load(w.heapSlot(i) + heapFreq)
+		fm := tx.Load(w.heapSlot(min) + heapFreq)
+		tx.Store(w.heapSlot(i)+heapPage, pm)
+		tx.Store(w.heapSlot(i)+heapFreq, fm)
+		tx.Store(w.heapSlot(min)+heapPage, pi)
+		tx.Store(w.heapSlot(min)+heapFreq, fi)
+		tx.Store(w.index+memory.Addr(pm), uint64(i+1))
+		tx.Store(w.index+memory.Addr(pi), uint64(min+1))
+		i = min
+	}
+}
+
+// Verify implements Workload: heap property holds and the index agrees
+// with heap contents.
+func (w *LFUCache) Verify(env *Env) error {
+	for i := 0; i < lfuHeapSize; i++ {
+		f := env.Read(w.heapSlot(i) + heapFreq)
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < lfuHeapSize {
+				if fc := env.Read(w.heapSlot(c) + heapFreq); fc < f {
+					return fmt.Errorf("lfucache: heap violation at %d (%d > child %d)", i, f, fc)
+				}
+			}
+		}
+		page := env.Read(w.heapSlot(i) + heapPage)
+		if got := env.Read(w.index + memory.Addr(page)); got != uint64(i+1) {
+			return fmt.Errorf("lfucache: index[%d]=%d, heap slot is %d", page, got, i+1)
+		}
+	}
+	cached := 0
+	for p := 0; p < lfuPages; p++ {
+		if env.Read(w.index+memory.Addr(p)) != 0 {
+			cached++
+		}
+	}
+	if cached != lfuHeapSize {
+		return fmt.Errorf("lfucache: %d pages cached, want %d", cached, lfuHeapSize)
+	}
+	return nil
+}

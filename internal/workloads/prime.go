@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// Prime is the CPU-intensive background application of the paper's
+// multiprogramming experiment (Figure 5e,f): it factorizes integers by
+// trial division, touching essentially no shared memory. Its throughput
+// measures how much useful work the machine extracts around a
+// non-scalable transactional workload.
+type Prime struct {
+	counter memory.Addr // per-core completion counters (one line each)
+	next    uint64
+}
+
+// primeWorkCycles approximates the compute time of one factorization.
+const primeWorkCycles = 4000
+
+// NewPrime returns an unconfigured Prime; call Setup.
+func NewPrime() *Prime { return &Prime{next: 1_000_003} }
+
+// Name implements Workload.
+func (w *Prime) Name() string { return "Prime" }
+
+// Setup implements Workload.
+func (w *Prime) Setup(env *Env) {
+	w.counter = env.Alloc.Alloc(64 * memory.LineWords)
+}
+
+// Op implements Workload: factor one number (pure compute) and bump the
+// core-private completion counter.
+func (w *Prime) Op(th tmapi.Thread) {
+	n := w.next + uint64(th.Core())*2 + uint64(th.Rand().Intn(1000))*2 + 1
+	// Model trial division: constant cycles per candidate divisor.
+	divisors := 0
+	for d := uint64(3); d*d <= n && divisors < 64; d += 2 {
+		divisors++
+	}
+	th.Work(primeWorkCycles + uint64(divisors)*8)
+	c := w.counter + memory.Addr((th.Core()%64)*memory.LineWords)
+	th.Store(c, th.Load(c)+1)
+}
+
+// Chunk runs a fixed slice of factoring work; the multiprogramming
+// experiment calls it when a transactional thread yields the CPU after an
+// abort.
+func (w *Prime) Chunk(th tmapi.Thread) {
+	th.Work(primeWorkCycles)
+	c := w.counter + memory.Addr((th.Core()%64)*memory.LineWords)
+	th.Store(c, th.Load(c)+1)
+}
+
+// Completed returns the total factorizations recorded.
+func (w *Prime) Completed(env *Env) uint64 {
+	var total uint64
+	for i := 0; i < 64; i++ {
+		total += env.Read(w.counter + memory.Addr(i*memory.LineWords))
+	}
+	return total
+}
+
+// Verify implements Workload.
+func (w *Prime) Verify(env *Env) error {
+	if w.Completed(env) == 0 {
+		return fmt.Errorf("prime: no work completed")
+	}
+	return nil
+}
+
+var _ Workload = (*Prime)(nil)

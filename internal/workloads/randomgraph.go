@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// RandomGraph is the paper's pathological workload: transactions insert or
+// delete vertices (50% each) in an undirected graph kept as adjacency
+// lists. Each new vertex links to up to 4 random existing neighbors, and
+// finding them scans the vertex table, so the average transaction reads
+// ~80 cache lines and writes ~15, conflicting almost always. Under eager
+// management it livelocks at high thread counts (Figure 4d); lazy
+// management gives it a flat curve (Figure 5d).
+type RandomGraph struct {
+	verts memory.Addr // slot table: one line per slot
+	alloc *memory.Allocator
+}
+
+// Vertex-slot layout: word 0 = active flag, word 1 = adjacency-list head,
+// word 2 = degree. Edge-node layout: word 0 = neighbor slot+1, word 1 = next.
+// rgSlots is sized so transactions read ~80 lines, as in the paper.
+const rgSlots = 96
+
+const (
+	vActive = 0
+	vAdj    = 1
+	vDegree = 2
+)
+
+const (
+	eNbr  = 0
+	eNext = 1
+)
+
+// NewRandomGraph returns an unconfigured RandomGraph; call Setup.
+func NewRandomGraph() *RandomGraph { return &RandomGraph{} }
+
+// Name implements Workload.
+func (w *RandomGraph) Name() string { return "RandomGraph" }
+
+// Setup implements Workload: start with half the slots active, no edges.
+func (w *RandomGraph) Setup(env *Env) {
+	w.alloc = env.Alloc
+	w.verts = env.Alloc.Alloc(rgSlots * memory.LineWords)
+	for i := 0; i < rgSlots; i += 2 {
+		env.Write(w.slot(i)+vActive, 1)
+	}
+}
+
+func (w *RandomGraph) slot(i int) memory.Addr {
+	return w.verts + memory.Addr(i*memory.LineWords)
+}
+
+// Op implements Workload: insert or delete a random vertex.
+func (w *RandomGraph) Op(th tmapi.Thread) {
+	r := th.Rand()
+	target := r.Intn(rgSlots)
+	insert := r.Intn(2) == 0
+	// Neighbor candidates are chosen up front so retries are deterministic
+	// within the attempt (the scan re-reads live state each time).
+	var wants [4]int
+	for i := range wants {
+		wants[i] = r.Intn(rgSlots)
+	}
+	th.Atomic(func(tx tmapi.Txn) {
+		th.Work(320) // table scans and list manipulation instructions
+		if insert {
+			w.insertVertex(tx, target, wants)
+		} else {
+			w.deleteVertex(tx, target)
+		}
+	})
+}
+
+// insertVertex activates slot target (if inactive) and connects it to up
+// to 4 active vertices at or after the wanted indices (a scan that reads
+// much of the table, as the paper's workload does).
+func (w *RandomGraph) insertVertex(tx tmapi.Txn, target int, wants [4]int) {
+	if tx.Load(w.slot(target)+vActive) != 0 {
+		return
+	}
+	tx.Store(w.slot(target)+vActive, 1)
+	tx.Store(w.slot(target)+vAdj, 0)
+	tx.Store(w.slot(target)+vDegree, 0)
+	linked := map[int]bool{target: true}
+	for _, want := range wants {
+		// Scan forward for an active vertex.
+		for off := 0; off < rgSlots; off++ {
+			cand := (want + off) % rgSlots
+			if linked[cand] {
+				continue
+			}
+			if tx.Load(w.slot(cand)+vActive) != 0 {
+				w.addEdge(tx, target, cand)
+				w.addEdge(tx, cand, target)
+				linked[cand] = true
+				break
+			}
+		}
+	}
+}
+
+func (w *RandomGraph) addEdge(tx tmapi.Txn, from, to int) {
+	head := w.slot(from) + vAdj
+	e := w.alloc.Alloc(memory.LineWords)
+	tx.Store(e+eNbr, uint64(to+1))
+	tx.Store(e+eNext, tx.Load(head))
+	tx.Store(head, uint64(e))
+	tx.Store(w.slot(from)+vDegree, tx.Load(w.slot(from)+vDegree)+1)
+}
+
+// deleteVertex removes the vertex at slot target and unlinks it from every
+// neighbor's adjacency list.
+func (w *RandomGraph) deleteVertex(tx tmapi.Txn, target int) {
+	if tx.Load(w.slot(target)+vActive) == 0 {
+		return
+	}
+	for e := memory.Addr(tx.Load(w.slot(target) + vAdj)); e != 0; e = memory.Addr(tx.Load(e + eNext)) {
+		nbr := int(tx.Load(e+eNbr)) - 1
+		w.removeEdge(tx, nbr, target)
+	}
+	tx.Store(w.slot(target)+vActive, 0)
+	tx.Store(w.slot(target)+vAdj, 0)
+	tx.Store(w.slot(target)+vDegree, 0)
+}
+
+func (w *RandomGraph) removeEdge(tx tmapi.Txn, from, to int) {
+	head := w.slot(from) + vAdj
+	prev := memory.Addr(0)
+	for e := memory.Addr(tx.Load(head)); e != 0; e = memory.Addr(tx.Load(e + eNext)) {
+		if int(tx.Load(e+eNbr))-1 == to {
+			next := tx.Load(e + eNext)
+			if prev == 0 {
+				tx.Store(head, next)
+			} else {
+				tx.Store(prev+eNext, next)
+			}
+			tx.Store(w.slot(from)+vDegree, tx.Load(w.slot(from)+vDegree)-1)
+			return
+		}
+		prev = e
+	}
+}
+
+// Verify implements Workload: adjacency symmetry (undirected), edges only
+// between active vertices, and degree counters match list lengths.
+func (w *RandomGraph) Verify(env *Env) error {
+	adj := make(map[int]map[int]int, rgSlots)
+	for i := 0; i < rgSlots; i++ {
+		active := env.Read(w.slot(i)+vActive) != 0
+		if !active {
+			if env.Read(w.slot(i)+vAdj) != 0 {
+				return fmt.Errorf("randomgraph: inactive vertex %d has edges", i)
+			}
+			continue
+		}
+		adj[i] = map[int]int{}
+		n, steps := memory.Addr(env.Read(w.slot(i)+vAdj)), 0
+		for ; n != 0; n = memory.Addr(env.Read(n + eNext)) {
+			if steps++; steps > 1<<16 {
+				return fmt.Errorf("randomgraph: adjacency cycle at vertex %d", i)
+			}
+			nbr := int(env.Read(n+eNbr)) - 1
+			adj[i][nbr]++
+		}
+		if got := env.Read(w.slot(i) + vDegree); got != uint64(steps) {
+			return fmt.Errorf("randomgraph: vertex %d degree %d, list length %d", i, got, steps)
+		}
+	}
+	for u, ns := range adj {
+		for v, cnt := range ns {
+			if _, ok := adj[v]; !ok {
+				return fmt.Errorf("randomgraph: edge %d-%d to inactive vertex", u, v)
+			}
+			if adj[v][u] != cnt {
+				return fmt.Errorf("randomgraph: asymmetric edge %d-%d (%d vs %d)", u, v, cnt, adj[v][u])
+			}
+		}
+	}
+	return nil
+}

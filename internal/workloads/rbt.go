@@ -1,0 +1,439 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// rbt is a red-black tree in simulated memory, used by both the RBTree
+// benchmark and Vacation's database tables. Nodes are 256 bytes (4 cache
+// lines), matching the paper's RBTree configuration; field layout:
+//
+//	word 0: key
+//	word 1: value
+//	word 2: color (0 = red, 1 = black)
+//	word 3: left child (0 = nil)
+//	word 4: right child
+//	word 5: parent
+//
+// All traversal and mutation goes through a tmapi.Txn, so the tree is
+// transactional on every runtime. Deleted nodes are leaked rather than
+// freed: recycling an address while a doomed transaction still references
+// it would corrupt the structure, and the paper's runs are finite.
+type rbt struct {
+	root memory.Addr // address of the word holding the root pointer
+}
+
+const (
+	rbKey = iota
+	rbVal
+	rbColor
+	rbLeft
+	rbRight
+	rbParent
+)
+
+const (
+	red   = 0
+	black = 1
+)
+
+// nodeWords is the allocation size of one node: 256 bytes.
+const nodeWords = 4 * memory.LineWords
+
+// newRBT allocates an empty tree (root pointer word) via env.
+func newRBT(env *Env) rbt {
+	r := rbt{root: env.Alloc.Alloc(memory.LineWords)}
+	env.Write(r.root, 0)
+	return r
+}
+
+// access bundles a transaction view with the allocator for mutating ops.
+type access struct {
+	tx    tmapi.Txn
+	alloc *memory.Allocator
+}
+
+func (a access) get(n memory.Addr, f int) uint64      { return a.tx.Load(n + memory.Addr(f)) }
+func (a access) set(n memory.Addr, f int, v uint64)   { a.tx.Store(n+memory.Addr(f), v) }
+func (a access) ptr(n memory.Addr, f int) memory.Addr { return memory.Addr(a.get(n, f)) }
+
+// lookup returns the value for key and whether it was found.
+func (t rbt) lookup(a access, key uint64) (uint64, bool) {
+	n := memory.Addr(a.tx.Load(t.root))
+	for n != 0 {
+		k := a.get(n, rbKey)
+		switch {
+		case key == k:
+			return a.get(n, rbVal), true
+		case key < k:
+			n = a.ptr(n, rbLeft)
+		default:
+			n = a.ptr(n, rbRight)
+		}
+	}
+	return 0, false
+}
+
+// insert adds key->val if absent; it returns false (and updates nothing)
+// when the key already exists.
+func (t rbt) insert(a access, key, val uint64) bool {
+	var parent memory.Addr
+	n := memory.Addr(a.tx.Load(t.root))
+	for n != 0 {
+		parent = n
+		k := a.get(n, rbKey)
+		switch {
+		case key == k:
+			return false
+		case key < k:
+			n = a.ptr(n, rbLeft)
+		default:
+			n = a.ptr(n, rbRight)
+		}
+	}
+	fresh := a.alloc.Alloc(nodeWords)
+	a.set(fresh, rbKey, key)
+	a.set(fresh, rbVal, val)
+	a.set(fresh, rbColor, red)
+	a.set(fresh, rbLeft, 0)
+	a.set(fresh, rbRight, 0)
+	a.set(fresh, rbParent, uint64(parent))
+	if parent == 0 {
+		a.tx.Store(t.root, uint64(fresh))
+	} else if key < a.get(parent, rbKey) {
+		a.set(parent, rbLeft, uint64(fresh))
+	} else {
+		a.set(parent, rbRight, uint64(fresh))
+	}
+	t.insertFixup(a, fresh)
+	return true
+}
+
+// update sets the value of an existing key, returning false if absent.
+func (t rbt) update(a access, key, val uint64) bool {
+	n := memory.Addr(a.tx.Load(t.root))
+	for n != 0 {
+		k := a.get(n, rbKey)
+		switch {
+		case key == k:
+			a.set(n, rbVal, val)
+			return true
+		case key < k:
+			n = a.ptr(n, rbLeft)
+		default:
+			n = a.ptr(n, rbRight)
+		}
+	}
+	return false
+}
+
+func (t rbt) rotateLeft(a access, x memory.Addr) {
+	y := a.ptr(x, rbRight)
+	yl := a.ptr(y, rbLeft)
+	a.set(x, rbRight, uint64(yl))
+	if yl != 0 {
+		a.set(yl, rbParent, uint64(x))
+	}
+	xp := a.ptr(x, rbParent)
+	a.set(y, rbParent, uint64(xp))
+	switch {
+	case xp == 0:
+		a.tx.Store(t.root, uint64(y))
+	case a.ptr(xp, rbLeft) == x:
+		a.set(xp, rbLeft, uint64(y))
+	default:
+		a.set(xp, rbRight, uint64(y))
+	}
+	a.set(y, rbLeft, uint64(x))
+	a.set(x, rbParent, uint64(y))
+}
+
+func (t rbt) rotateRight(a access, x memory.Addr) {
+	y := a.ptr(x, rbLeft)
+	yr := a.ptr(y, rbRight)
+	a.set(x, rbLeft, uint64(yr))
+	if yr != 0 {
+		a.set(yr, rbParent, uint64(x))
+	}
+	xp := a.ptr(x, rbParent)
+	a.set(y, rbParent, uint64(xp))
+	switch {
+	case xp == 0:
+		a.tx.Store(t.root, uint64(y))
+	case a.ptr(xp, rbRight) == x:
+		a.set(xp, rbRight, uint64(y))
+	default:
+		a.set(xp, rbLeft, uint64(y))
+	}
+	a.set(y, rbRight, uint64(x))
+	a.set(x, rbParent, uint64(y))
+}
+
+func (t rbt) insertFixup(a access, z memory.Addr) {
+	for {
+		zp := a.ptr(z, rbParent)
+		if zp == 0 || a.get(zp, rbColor) == black {
+			break
+		}
+		zpp := a.ptr(zp, rbParent) // grandparent exists: parent is red, root is black
+		if zp == a.ptr(zpp, rbLeft) {
+			y := a.ptr(zpp, rbRight) // uncle
+			if y != 0 && a.get(y, rbColor) == red {
+				a.set(zp, rbColor, black)
+				a.set(y, rbColor, black)
+				a.set(zpp, rbColor, red)
+				z = zpp
+				continue
+			}
+			if z == a.ptr(zp, rbRight) {
+				z = zp
+				t.rotateLeft(a, z)
+				zp = a.ptr(z, rbParent)
+				zpp = a.ptr(zp, rbParent)
+			}
+			a.set(zp, rbColor, black)
+			a.set(zpp, rbColor, red)
+			t.rotateRight(a, zpp)
+		} else {
+			y := a.ptr(zpp, rbLeft)
+			if y != 0 && a.get(y, rbColor) == red {
+				a.set(zp, rbColor, black)
+				a.set(y, rbColor, black)
+				a.set(zpp, rbColor, red)
+				z = zpp
+				continue
+			}
+			if z == a.ptr(zp, rbLeft) {
+				z = zp
+				t.rotateRight(a, z)
+				zp = a.ptr(z, rbParent)
+				zpp = a.ptr(zp, rbParent)
+			}
+			a.set(zp, rbColor, black)
+			a.set(zpp, rbColor, red)
+			t.rotateLeft(a, zpp)
+		}
+	}
+	rootN := memory.Addr(a.tx.Load(t.root))
+	// Write the root's color only when it changed: an unconditional store
+	// here would put the root's line in every inserter's write set and
+	// serialize the whole tree.
+	if a.get(rootN, rbColor) != black {
+		a.set(rootN, rbColor, black)
+	}
+}
+
+// transplant replaces subtree u with subtree v.
+func (t rbt) transplant(a access, u, v memory.Addr) {
+	up := a.ptr(u, rbParent)
+	switch {
+	case up == 0:
+		a.tx.Store(t.root, uint64(v))
+	case u == a.ptr(up, rbLeft):
+		a.set(up, rbLeft, uint64(v))
+	default:
+		a.set(up, rbRight, uint64(v))
+	}
+	if v != 0 {
+		a.set(v, rbParent, uint64(up))
+	}
+}
+
+func (t rbt) minimum(a access, n memory.Addr) memory.Addr {
+	for {
+		l := a.ptr(n, rbLeft)
+		if l == 0 {
+			return n
+		}
+		n = l
+	}
+}
+
+// remove deletes key, returning false if absent. It follows CLRS with a
+// parent-tracked nil (since node 0 carries no parent field).
+func (t rbt) remove(a access, key uint64) bool {
+	z := memory.Addr(a.tx.Load(t.root))
+	for z != 0 {
+		k := a.get(z, rbKey)
+		if key == k {
+			break
+		}
+		if key < k {
+			z = a.ptr(z, rbLeft)
+		} else {
+			z = a.ptr(z, rbRight)
+		}
+	}
+	if z == 0 {
+		return false
+	}
+
+	y := z
+	yColor := a.get(y, rbColor)
+	var x, xParent memory.Addr
+	switch {
+	case a.ptr(z, rbLeft) == 0:
+		x = a.ptr(z, rbRight)
+		xParent = a.ptr(z, rbParent)
+		t.transplant(a, z, x)
+	case a.ptr(z, rbRight) == 0:
+		x = a.ptr(z, rbLeft)
+		xParent = a.ptr(z, rbParent)
+		t.transplant(a, z, x)
+	default:
+		y = t.minimum(a, a.ptr(z, rbRight))
+		yColor = a.get(y, rbColor)
+		x = a.ptr(y, rbRight)
+		if a.ptr(y, rbParent) == z {
+			xParent = y
+		} else {
+			xParent = a.ptr(y, rbParent)
+			t.transplant(a, y, x)
+			zr := a.ptr(z, rbRight)
+			a.set(y, rbRight, uint64(zr))
+			a.set(zr, rbParent, uint64(y))
+		}
+		t.transplant(a, z, y)
+		zl := a.ptr(z, rbLeft)
+		a.set(y, rbLeft, uint64(zl))
+		a.set(zl, rbParent, uint64(y))
+		a.set(y, rbColor, a.get(z, rbColor))
+	}
+	if yColor == black {
+		t.removeFixup(a, x, xParent)
+	}
+	return true
+}
+
+func (t rbt) removeFixup(a access, x, xParent memory.Addr) {
+	for x != memory.Addr(a.tx.Load(t.root)) && (x == 0 || a.get(x, rbColor) == black) {
+		if xParent == 0 {
+			break
+		}
+		if x == a.ptr(xParent, rbLeft) {
+			w := a.ptr(xParent, rbRight)
+			if a.get(w, rbColor) == red {
+				a.set(w, rbColor, black)
+				a.set(xParent, rbColor, red)
+				t.rotateLeft(a, xParent)
+				w = a.ptr(xParent, rbRight)
+			}
+			wl, wr := a.ptr(w, rbLeft), a.ptr(w, rbRight)
+			if (wl == 0 || a.get(wl, rbColor) == black) && (wr == 0 || a.get(wr, rbColor) == black) {
+				a.set(w, rbColor, red)
+				x = xParent
+				xParent = a.ptr(x, rbParent)
+			} else {
+				if wr == 0 || a.get(wr, rbColor) == black {
+					if wl != 0 {
+						a.set(wl, rbColor, black)
+					}
+					a.set(w, rbColor, red)
+					t.rotateRight(a, w)
+					w = a.ptr(xParent, rbRight)
+				}
+				a.set(w, rbColor, a.get(xParent, rbColor))
+				a.set(xParent, rbColor, black)
+				if wr2 := a.ptr(w, rbRight); wr2 != 0 {
+					a.set(wr2, rbColor, black)
+				}
+				t.rotateLeft(a, xParent)
+				x = memory.Addr(a.tx.Load(t.root))
+				xParent = 0
+			}
+		} else {
+			w := a.ptr(xParent, rbLeft)
+			if a.get(w, rbColor) == red {
+				a.set(w, rbColor, black)
+				a.set(xParent, rbColor, red)
+				t.rotateRight(a, xParent)
+				w = a.ptr(xParent, rbLeft)
+			}
+			wl, wr := a.ptr(w, rbLeft), a.ptr(w, rbRight)
+			if (wl == 0 || a.get(wl, rbColor) == black) && (wr == 0 || a.get(wr, rbColor) == black) {
+				a.set(w, rbColor, red)
+				x = xParent
+				xParent = a.ptr(x, rbParent)
+			} else {
+				if wl == 0 || a.get(wl, rbColor) == black {
+					if wr != 0 {
+						a.set(wr, rbColor, black)
+					}
+					a.set(w, rbColor, red)
+					t.rotateLeft(a, w)
+					w = a.ptr(xParent, rbLeft)
+				}
+				a.set(w, rbColor, a.get(xParent, rbColor))
+				a.set(xParent, rbColor, black)
+				if wl2 := a.ptr(w, rbLeft); wl2 != 0 {
+					a.set(wl2, rbColor, black)
+				}
+				t.rotateRight(a, xParent)
+				x = memory.Addr(a.tx.Load(t.root))
+				xParent = 0
+			}
+		}
+	}
+	if x != 0 && a.get(x, rbColor) != black {
+		a.set(x, rbColor, black)
+	}
+}
+
+// verifyRBT walks the committed image and checks BST order, red-red
+// violations, and black-height balance. It returns the key count.
+func verifyRBT(env *Env, rootPtr memory.Addr) (int, error) {
+	root := memory.Addr(env.Read(rootPtr))
+	if root == 0 {
+		return 0, nil
+	}
+	if env.Read(root+rbColor) != black {
+		return 0, fmt.Errorf("rbt: root is red")
+	}
+	count := 0
+	var walk func(n memory.Addr, lo, hi uint64, haveLo, haveHi bool) (int, error)
+	walk = func(n memory.Addr, lo, hi uint64, haveLo, haveHi bool) (int, error) {
+		if n == 0 {
+			return 1, nil
+		}
+		count++
+		if count > 1<<22 {
+			return 0, fmt.Errorf("rbt: cycle detected")
+		}
+		k := env.Read(n + rbKey)
+		if haveLo && k <= lo {
+			return 0, fmt.Errorf("rbt: order violation at key %d", k)
+		}
+		if haveHi && k >= hi {
+			return 0, fmt.Errorf("rbt: order violation at key %d", k)
+		}
+		c := env.Read(n + rbColor)
+		l, r := memory.Addr(env.Read(n+rbLeft)), memory.Addr(env.Read(n+rbRight))
+		if c == red {
+			for _, ch := range []memory.Addr{l, r} {
+				if ch != 0 && env.Read(ch+rbColor) == red {
+					return 0, fmt.Errorf("rbt: red-red violation at key %d", k)
+				}
+			}
+		}
+		bl, err := walk(l, lo, k, haveLo, true)
+		if err != nil {
+			return 0, err
+		}
+		br, err := walk(r, k, hi, true, haveHi)
+		if err != nil {
+			return 0, err
+		}
+		if bl != br {
+			return 0, fmt.Errorf("rbt: black-height mismatch at key %d (%d vs %d)", k, bl, br)
+		}
+		if c == black {
+			bl++
+		}
+		return bl, nil
+	}
+	_, err := walk(root, 0, 0, false, false)
+	return count, err
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"testing"
+
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+// newEnv returns a standalone Env (no timing) for direct structure tests.
+func newEnv() *Env {
+	return &Env{Image: memory.NewImage(), Alloc: memory.NewAllocator()}
+}
+
+func TestRBTAgainstMapOracle(t *testing.T) {
+	env := newEnv()
+	tree := newRBT(env)
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	oracle := map[uint64]uint64{}
+	r := sim.NewRand(12345)
+
+	for step := 0; step < 20000; step++ {
+		key := uint64(r.Intn(512))
+		switch r.Intn(3) {
+		case 0: // insert
+			_, had := oracle[key]
+			ok := tree.insert(a, key, key*3)
+			if ok == had {
+				t.Fatalf("step %d: insert(%d) = %v, oracle had=%v", step, key, ok, had)
+			}
+			if !had {
+				oracle[key] = key * 3
+			}
+		case 1: // remove
+			_, had := oracle[key]
+			ok := tree.remove(a, key)
+			if ok != had {
+				t.Fatalf("step %d: remove(%d) = %v, oracle had=%v", step, key, ok, had)
+			}
+			delete(oracle, key)
+		default: // lookup
+			v, ok := tree.lookup(a, key)
+			ov, had := oracle[key]
+			if ok != had || (ok && v != ov) {
+				t.Fatalf("step %d: lookup(%d) = (%d,%v), oracle (%d,%v)", step, key, v, ok, ov, had)
+			}
+		}
+		if step%500 == 0 {
+			if n, err := verifyRBT(env, tree.root); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			} else if n != len(oracle) {
+				t.Fatalf("step %d: tree has %d keys, oracle %d", step, n, len(oracle))
+			}
+		}
+	}
+	if n, err := verifyRBT(env, tree.root); err != nil || n != len(oracle) {
+		t.Fatalf("final: n=%d err=%v oracle=%d", n, err, len(oracle))
+	}
+}
+
+func TestRBTUpdate(t *testing.T) {
+	env := newEnv()
+	tree := newRBT(env)
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	if tree.update(a, 5, 50) {
+		t.Fatal("update of absent key succeeded")
+	}
+	tree.insert(a, 5, 1)
+	if !tree.update(a, 5, 50) {
+		t.Fatal("update of present key failed")
+	}
+	if v, _ := tree.lookup(a, 5); v != 50 {
+		t.Fatalf("value = %d, want 50", v)
+	}
+}
+
+func TestRBTAscendingDescendingInsert(t *testing.T) {
+	for name, order := range map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i) },
+		"descending": func(i int) uint64 { return uint64(1000 - i) },
+	} {
+		env := newEnv()
+		tree := newRBT(env)
+		a := access{tx: envTxn{env}, alloc: env.Alloc}
+		for i := 0; i < 1000; i++ {
+			tree.insert(a, order(i), 0)
+		}
+		if n, err := verifyRBT(env, tree.root); err != nil || n != 1000 {
+			t.Fatalf("%s: n=%d err=%v", name, n, err)
+		}
+	}
+}
+
+func TestRBTDrainToEmpty(t *testing.T) {
+	env := newEnv()
+	tree := newRBT(env)
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	for i := 0; i < 256; i++ {
+		tree.insert(a, uint64(i), 0)
+	}
+	for i := 0; i < 256; i++ {
+		if !tree.remove(a, uint64(i)) {
+			t.Fatalf("remove(%d) failed", i)
+		}
+		if _, err := verifyRBT(env, tree.root); err != nil {
+			t.Fatalf("after remove(%d): %v", i, err)
+		}
+	}
+	if env.Read(tree.root) != 0 {
+		t.Fatal("tree not empty after removing everything")
+	}
+}
+
+func TestHashTablePrimitivesOracle(t *testing.T) {
+	env := newEnv()
+	h := NewHashTable()
+	h.Setup(env)
+	tx := envTxn{env}
+	oracle := map[uint64]bool{}
+	for k := uint64(0); k < htKeyRange; k += 2 {
+		oracle[k] = true
+	}
+	r := sim.NewRand(99)
+	for step := 0; step < 5000; step++ {
+		key := uint64(r.Intn(htKeyRange))
+		switch r.Intn(3) {
+		case 0:
+			if _, ok := h.lookup(tx, key); ok != oracle[key] {
+				t.Fatalf("step %d: lookup(%d) = %v", step, key, ok)
+			}
+		case 1:
+			if ok := h.insert(tx, key, 1); ok == oracle[key] {
+				t.Fatalf("step %d: insert(%d) = %v", step, key, ok)
+			}
+			oracle[key] = true
+		default:
+			if ok := h.remove(tx, key); ok != oracle[key] {
+				t.Fatalf("step %d: remove(%d) = %v", step, key, ok)
+			}
+			delete(oracle, key)
+		}
+	}
+	if err := h.Verify(env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSamplingIsSkewed(t *testing.T) {
+	env := newEnv()
+	w := NewLFUCache()
+	w.Setup(env)
+	r := sim.NewRand(7)
+	counts := make([]int, lfuPages)
+	for i := 0; i < 100000; i++ {
+		counts[w.zipfPage(r.Float64())]++
+	}
+	if counts[0] < counts[1] || counts[1] < counts[10] {
+		t.Fatalf("zipf not monotone: p0=%d p1=%d p10=%d", counts[0], counts[1], counts[10])
+	}
+	// p(1)/p(2) should be ~4 (i^-2).
+	ratio := float64(counts[0]) / float64(counts[1]+1)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("p(1)/p(2) = %.2f, want ~4", ratio)
+	}
+	// The head dominates: top-8 pages take most of the mass.
+	head := 0
+	for i := 0; i < 8; i++ {
+		head += counts[i]
+	}
+	if head < 80000 {
+		t.Fatalf("top-8 pages got %d/100000 accesses; distribution too flat", head)
+	}
+}
+
+var _ = tmesi.DefaultConfig

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// RBTree is the paper's RBTree benchmark: transactions look up, insert, or
+// remove (1/3 each) values in 0..4095; at steady state the tree holds about
+// 2048 keys. Nodes are 256 bytes. Rebalancing makes writers touch paths up
+// the tree, so eager management hurts at high thread counts (Figure 5a).
+type RBTree struct {
+	tree  rbt
+	alloc *memory.Allocator
+}
+
+const rbKeyRange = 4096
+
+// NewRBTree returns an unconfigured RBTree; call Setup.
+func NewRBTree() *RBTree { return &RBTree{} }
+
+// Name implements Workload.
+func (w *RBTree) Name() string { return "RBTree" }
+
+// Setup implements Workload: warm to ~half occupancy.
+func (w *RBTree) Setup(env *Env) {
+	w.alloc = env.Alloc
+	w.tree = newRBT(env)
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	for k := uint64(0); k < rbKeyRange; k += 2 {
+		w.tree.insert(a, k, k)
+	}
+}
+
+// Op implements Workload.
+func (w *RBTree) Op(th tmapi.Thread) {
+	r := th.Rand()
+	key := uint64(r.Intn(rbKeyRange))
+	op := r.Intn(3)
+	th.Atomic(func(tx tmapi.Txn) {
+		th.Work(180) // ~11-level traversal + rebalance instructions
+		a := access{tx: tx, alloc: w.alloc}
+		switch op {
+		case 0:
+			w.tree.lookup(a, key)
+		case 1:
+			w.tree.insert(a, key, key)
+		default:
+			w.tree.remove(a, key)
+		}
+	})
+}
+
+// Verify implements Workload: full red-black invariant check.
+func (w *RBTree) Verify(env *Env) error {
+	n, err := verifyRBT(env, w.tree.root)
+	if err != nil {
+		return err
+	}
+	if n > rbKeyRange {
+		return fmt.Errorf("rbtree: %d keys exceed key range", n)
+	}
+	return nil
+}
+
+var _ Workload = (*RBTree)(nil)
+var _ = memory.LineWords

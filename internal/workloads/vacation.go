@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// Vacation implements the travel-reservation workload of Workload-Set 2
+// (after STAMP's vacation, via SigTM): an in-memory database whose tables —
+// cars, flights, rooms — are red-black trees, plus a customer table.
+// Client transactions either query relations (read-only) or make
+// reservations (read-write), streaming ~100 entries through the trees.
+//
+// Two contention modes, as in Table 3(b):
+//
+//	Low  — 90% of relations queried, read-only tasks dominate
+//	High — 10% of relations queried (hot subset), 50/50 read-only/read-write
+type Vacation struct {
+	high      bool
+	tables    [3]rbt // cars, flights, rooms
+	customers rbt
+	alloc     *memory.Allocator
+}
+
+// Database scale.
+const (
+	vacRelations    = 256 // rows per table
+	vacCustomers    = 128
+	vacQueriesPerTx = 10
+	vacInitialSeats = 100
+)
+
+// Row values pack (available << 16) | price.
+func packRow(avail, price uint64) uint64 { return avail<<16 | price }
+func rowAvail(v uint64) uint64           { return v >> 16 }
+func rowPrice(v uint64) uint64           { return v & 0xFFFF }
+
+// NewVacation returns an unconfigured Vacation; call Setup. high selects
+// the high-contention configuration.
+func NewVacation(high bool) *Vacation { return &Vacation{high: high} }
+
+// Name implements Workload.
+func (w *Vacation) Name() string {
+	if w.high {
+		return "Vacation-High"
+	}
+	return "Vacation-Low"
+}
+
+// Setup implements Workload: populate the three relation tables and the
+// customer balances.
+func (w *Vacation) Setup(env *Env) {
+	w.alloc = env.Alloc
+	a := access{tx: envTxn{env}, alloc: env.Alloc}
+	for t := range w.tables {
+		w.tables[t] = newRBT(env)
+		for id := uint64(0); id < vacRelations; id++ {
+			w.tables[t].insert(a, id, packRow(vacInitialSeats, 50+id%100))
+		}
+	}
+	w.customers = newRBT(env)
+	for id := uint64(0); id < vacCustomers; id++ {
+		w.customers.insert(a, id, 0)
+	}
+}
+
+// queryRange returns the span of row ids tasks touch: the whole table in
+// low contention, a hot 10% in high contention.
+func (w *Vacation) queryRange() int {
+	if w.high {
+		return vacRelations / 10
+	}
+	return vacRelations * 9 / 10
+}
+
+// readOnlyFraction reflects the task mixes of Table 3(b): read-only tasks
+// dominate in low contention; 50/50 in high.
+func (w *Vacation) readOnlyFraction() float64 {
+	if w.high {
+		return 0.5
+	}
+	return 0.9
+}
+
+// Op implements Workload: one client task.
+func (w *Vacation) Op(th tmapi.Thread) {
+	r := th.Rand()
+	rng := w.queryRange()
+	readOnly := r.Float64() < w.readOnlyFraction()
+	table := w.tables[r.Intn(len(w.tables))]
+	var ids [vacQueriesPerTx]uint64
+	for i := range ids {
+		ids[i] = uint64(r.Intn(rng))
+	}
+	customer := uint64(r.Intn(vacCustomers))
+
+	th.Atomic(func(tx tmapi.Txn) {
+		th.Work(500) // ~10 tree queries of instruction work
+		a := access{tx: tx, alloc: w.alloc}
+		// Query phase: stream the candidate rows through the tree, finding
+		// the cheapest one with availability.
+		bestID, bestPrice := uint64(0), uint64(1<<62)
+		found := false
+		for _, id := range ids {
+			v, ok := table.lookup(a, id)
+			if !ok {
+				continue
+			}
+			if rowAvail(v) > 0 && rowPrice(v) < bestPrice {
+				bestID, bestPrice, found = id, rowPrice(v), true
+			}
+		}
+		if readOnly || !found {
+			return
+		}
+		// Reservation: decrement availability, charge the customer.
+		v, _ := table.lookup(a, bestID)
+		if rowAvail(v) == 0 {
+			return
+		}
+		table.update(a, bestID, packRow(rowAvail(v)-1, rowPrice(v)))
+		bal, _ := w.customers.lookup(a, customer)
+		w.customers.update(a, customer, bal+bestPrice)
+	})
+}
+
+// Verify implements Workload: tree invariants hold, no row oversold, and
+// the money conserves — total customer spend equals the sum over rows of
+// (initial - available) * price.
+func (w *Vacation) Verify(env *Env) error {
+	var owed uint64
+	for t := range w.tables {
+		if _, err := verifyRBT(env, w.tables[t].root); err != nil {
+			return fmt.Errorf("vacation table %d: %w", t, err)
+		}
+		for id := uint64(0); id < vacRelations; id++ {
+			v, ok := readRBT(env, w.tables[t].root, id)
+			if !ok {
+				return fmt.Errorf("vacation: row %d missing from table %d", id, t)
+			}
+			if rowAvail(v) > vacInitialSeats {
+				return fmt.Errorf("vacation: row %d oversold (avail %d)", id, rowAvail(v))
+			}
+			owed += (vacInitialSeats - rowAvail(v)) * rowPrice(v)
+		}
+	}
+	if _, err := verifyRBT(env, w.customers.root); err != nil {
+		return fmt.Errorf("vacation customers: %w", err)
+	}
+	var spent uint64
+	for id := uint64(0); id < vacCustomers; id++ {
+		bal, ok := readRBT(env, w.customers.root, id)
+		if !ok {
+			return fmt.Errorf("vacation: customer %d missing", id)
+		}
+		spent += bal
+	}
+	if spent != owed {
+		return fmt.Errorf("vacation: customers spent %d but tables sold %d", spent, owed)
+	}
+	return nil
+}
+
+// readRBT is a zero-cost committed-state lookup for verification.
+func readRBT(env *Env, rootPtr memory.Addr, key uint64) (uint64, bool) {
+	n := memory.Addr(env.Read(rootPtr))
+	for n != 0 {
+		k := env.Read(n + rbKey)
+		switch {
+		case key == k:
+			return env.Read(n + rbVal), true
+		case key < k:
+			n = memory.Addr(env.Read(n + rbLeft))
+		default:
+			n = memory.Addr(env.Read(n + rbRight))
+		}
+	}
+	return 0, false
+}

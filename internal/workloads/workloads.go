@@ -1,0 +1,98 @@
+// Package workloads implements the seven benchmarks of the paper's
+// evaluation (Table 3b): HashTable, RBTree, LFUCache, RandomGraph,
+// Delaunay, Vacation (low/high contention), and the Prime background
+// application used in the multiprogramming experiments. Every workload is
+// written against tmapi.Txn/Thread, so the same code runs on FlexTM and all
+// baseline systems.
+//
+// All benchmark data lives in simulated memory; Setup initializes it
+// through the committed image at zero simulated cost (the paper's warm-up
+// phase), and Verify checks structural invariants of the committed state
+// after a run.
+package workloads
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/tmapi"
+)
+
+// Env gives workloads zero-cost access to simulated memory for setup and
+// verification.
+type Env struct {
+	Image *memory.Image
+	Alloc *memory.Allocator
+	// Raw, when set, reads the coherent view of memory (committed values
+	// may still sit in an L1 M line that has not been written back).
+	// Verification must use it; tmesi.System.ReadWordRaw fits.
+	Raw func(memory.Addr) uint64
+}
+
+// Read returns the committed word at a, preferring the coherent view.
+func (e *Env) Read(a memory.Addr) uint64 {
+	if e.Raw != nil {
+		return e.Raw(a)
+	}
+	return e.Image.ReadWord(a)
+}
+
+// Write sets the committed word at a.
+func (e *Env) Write(a memory.Addr, v uint64) { e.Image.WriteWord(a, v) }
+
+// Workload is one benchmark.
+type Workload interface {
+	// Name identifies the workload in output.
+	Name() string
+	// Setup allocates and initializes the data structure (warm-up).
+	Setup(env *Env)
+	// Op performs one timed operation (usually one transaction) on th.
+	Op(th tmapi.Thread)
+	// Verify checks structural invariants of the committed state after a
+	// run; it returns nil if the structure is intact.
+	Verify(env *Env) error
+}
+
+// Factory builds a fresh workload instance (workloads carry per-run state
+// such as base addresses).
+type Factory struct {
+	Name string
+	New  func() Workload
+}
+
+// All returns factories for every workload in Workload-Set 1 and 2.
+func All() []Factory {
+	return []Factory{
+		{Name: "HashTable", New: func() Workload { return NewHashTable() }},
+		{Name: "RBTree", New: func() Workload { return NewRBTree() }},
+		{Name: "LFUCache", New: func() Workload { return NewLFUCache() }},
+		{Name: "RandomGraph", New: func() Workload { return NewRandomGraph() }},
+		{Name: "Delaunay", New: func() Workload { return NewDelaunay() }},
+		{Name: "Vacation-Low", New: func() Workload { return NewVacation(false) }},
+		{Name: "Vacation-High", New: func() Workload { return NewVacation(true) }},
+	}
+}
+
+// ByName returns the factory for a workload, or false.
+func ByName(name string) (Factory, bool) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}
+
+// envTxn adapts an Env to tmapi.Txn for zero-cost setup: the same
+// data-structure code that runs transactionally also builds the initial
+// state directly in the committed image.
+type envTxn struct{ env *Env }
+
+// Load implements tmapi.Txn.
+func (t envTxn) Load(a memory.Addr) uint64 { return t.env.Read(a) }
+
+// Store implements tmapi.Txn.
+func (t envTxn) Store(a memory.Addr, v uint64) { t.env.Write(a, v) }
+
+// Abort implements tmapi.Txn; setup never aborts.
+func (t envTxn) Abort() { panic("workloads: Abort during setup") }
+
+var _ tmapi.Txn = envTxn{}
