@@ -25,6 +25,8 @@ func main() {
 	cores := flag.Int("cores", 16, "cores in the simulated CMP")
 	verify := flag.Bool("verify", true, "check structural invariants after the run")
 	traceStats := flag.Bool("tracestats", false, "print a transaction-level trace summary (FlexTM systems)")
+	metrics := flag.Bool("metrics", false, "collect per-mechanism telemetry and print counter + cycle-attribution tables")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to FILE (open in chrome://tracing or Perfetto)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -44,7 +46,7 @@ func main() {
 	machine.Cores = *cores
 
 	var rec *trace.Recorder
-	if *traceStats {
+	if *traceStats || *traceOut != "" {
 		rec = trace.NewRecorder()
 	}
 	res, err := harness.Run(harness.RunConfig{
@@ -55,6 +57,7 @@ func main() {
 		Machine:      machine,
 		Verify:       *verify,
 		Tracer:       rec,
+		Metrics:      *metrics,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flextm:", err)
@@ -74,6 +77,32 @@ func main() {
 	fmt.Printf("machine     L1 %.1f%% hit, %d L2 misses, %d threatened, %d exposed-read, %d overflows, %d alerts\n",
 		100*float64(m.L1Hits)/float64(max(m.L1Hits+m.L1Misses, 1)),
 		m.L2Misses, m.ThreatenedResponses, m.ExposedReadResponses, m.Overflows, m.Alerts)
+	if res.Telemetry != nil {
+		fmt.Println("-- telemetry --")
+		res.Telemetry.Print(os.Stdout)
+		fmt.Println("-- cycle attribution --")
+		res.Telemetry.PrintAttribution(os.Stdout)
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace       %d events -> %s\n", len(rec.Events()), *traceOut)
+	}
+}
+
+// writeChromeTrace dumps the recorded timeline in Chrome trace_event JSON.
+func writeChromeTrace(path string, rec *trace.Recorder) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(out, rec.Events()); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func max(a, b uint64) uint64 {

@@ -10,12 +10,17 @@
 //	paperbench -all           everything
 //
 // -quick shrinks the sweep for a fast smoke run; -ops and -threads tune the
-// full one.
+// full one. -metrics collects per-mechanism telemetry and prints a compact
+// digest under each data point; -json emits one JSON object per data point
+// on stdout (the human tables move to stderr); -trace-out FILE writes a
+// Chrome trace_event timeline of a dedicated traced run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,9 +28,15 @@ import (
 	"flextm/internal/area"
 	"flextm/internal/flexwatcher"
 	"flextm/internal/harness"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmesi"
+	"flextm/internal/trace"
 	"flextm/internal/workloads"
 )
+
+// out receives the human-readable tables; stdout normally, stderr under
+// -json so the JSON stream stays machine-parseable.
+var out io.Writer = os.Stdout
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm")
@@ -34,12 +45,20 @@ func main() {
 	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
 	ops := flag.Int("ops", harness.DefaultOps, "operations per thread per data point")
 	threadList := flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+	metrics := flag.Bool("metrics", false, "collect per-mechanism telemetry; print a compact digest per data point")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per data point on stdout; tables move to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace_event timeline of a dedicated FlexTM(Lazy) RBTree run to FILE")
 	flag.Parse()
+
+	if *jsonOut {
+		out = os.Stderr
+	}
 
 	sc := harness.SweepConfig{
 		Machine: tmesi.DefaultConfig(),
 		Ops:     *ops,
 		Verify:  true,
+		Metrics: *metrics || *jsonOut,
 	}
 	for _, part := range strings.Split(*threadList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -51,6 +70,19 @@ func main() {
 	if *quick {
 		sc.Threads = []int{1, 4, 16}
 		sc.Ops = 80
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	sc.OnResult = func(res harness.Result) {
+		if *metrics && res.Telemetry != nil {
+			fmt.Fprintf(out, "  .. %s/%s@%d: %s\n",
+				res.System, res.Workload, res.Threads, telemetry.Compact(*res.Telemetry))
+		}
+		if *jsonOut {
+			if err := enc.Encode(newJSONPoint(res)); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	ran := false
@@ -84,17 +116,96 @@ func main() {
 	}
 	if *all || *table == "2" {
 		ran = true
-		fmt.Println("== Table 2: area estimation (65nm) ==")
-		fmt.Println(area.Table())
+		fmt.Fprintln(out, "== Table 2: area estimation (65nm) ==")
+		fmt.Fprintln(out, area.Table())
 	}
 	if *all || *table == "4" {
 		ran = true
 		table4(sc)
 	}
+	if *traceOut != "" {
+		ran = true
+		writeTimeline(sc, *traceOut)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// jsonPoint is the machine-readable form of one data point.
+type jsonPoint struct {
+	System          string                 `json:"system"`
+	Workload        string                 `json:"workload"`
+	Threads         int                    `json:"threads"`
+	Commits         uint64                 `json:"commits"`
+	Aborts          uint64                 `json:"aborts"`
+	Cycles          uint64                 `json:"cycles"`
+	Throughput      float64                `json:"throughput"`
+	MedianConflicts int                    `json:"medianConflicts"`
+	MaxConflicts    int                    `json:"maxConflicts"`
+	Machine         tmesi.Stats            `json:"machine"`
+	Telemetry       map[string]uint64      `json:"telemetry,omitempty"`
+	Attribution     *telemetry.Attribution `json:"attribution,omitempty"`
+}
+
+func newJSONPoint(res harness.Result) jsonPoint {
+	p := jsonPoint{
+		System:          string(res.System),
+		Workload:        res.Workload,
+		Threads:         res.Threads,
+		Commits:         res.Commits,
+		Aborts:          res.Aborts,
+		Cycles:          uint64(res.Cycles),
+		Throughput:      res.Throughput,
+		MedianConflicts: res.MedianConflicts,
+		MaxConflicts:    res.MaxConflicts,
+		Machine:         res.Machine,
+	}
+	if res.Telemetry != nil {
+		p.Telemetry = res.Telemetry.Totals()
+		a := res.Telemetry.Attribution()
+		p.Attribution = &a
+	}
+	return p
+}
+
+// writeTimeline runs one traced FlexTM(Lazy) RBTree point at the sweep's
+// largest thread count and dumps the per-core timeline as Chrome
+// trace_event JSON.
+func writeTimeline(sc harness.SweepConfig, path string) {
+	threads := 1
+	for _, th := range sc.Threads {
+		if th > threads {
+			threads = th
+		}
+	}
+	f, _ := workloads.ByName("RBTree")
+	rec := trace.NewRecorder()
+	res, err := harness.Run(harness.RunConfig{
+		System: harness.FlexTMLazy, Workload: f, Threads: threads,
+		OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: sc.Verify,
+		Tracer: rec, Metrics: sc.Metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if sc.OnResult != nil {
+		sc.OnResult(res)
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteChrome(file, rec.Events()); err != nil {
+		file.Close()
+		fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "== timeline: %d events from FlexTM(Lazy)/RBTree@%d -> %s ==\n",
+		len(rec.Events()), threads, path)
 }
 
 func fatal(err error) {
@@ -107,8 +218,8 @@ func figure4(sc harness.SweepConfig) {
 	if err != nil {
 		fatal(err)
 	}
-	harness.PrintPlots(os.Stdout, "Figure 4: throughput normalized to 1-thread CGL", plots, sc.Threads)
-	fmt.Println()
+	harness.PrintPlots(out, "Figure 4: throughput normalized to 1-thread CGL", plots, sc.Threads)
+	fmt.Fprintln(out)
 }
 
 func figure5(sc harness.SweepConfig) {
@@ -116,12 +227,12 @@ func figure5(sc harness.SweepConfig) {
 	if err != nil {
 		fatal(err)
 	}
-	harness.PrintPlots(os.Stdout, "Figure 5a-d: eager vs lazy, normalized to 1-thread FlexTM(Eager)", plots, sc.Threads)
-	fmt.Println()
+	harness.PrintPlots(out, "Figure 5a-d: eager vs lazy, normalized to 1-thread FlexTM(Eager)", plots, sc.Threads)
+	fmt.Fprintln(out)
 }
 
 func figure5mp(sc harness.SweepConfig) {
-	fmt.Println("== Figure 5e,f: multiprogramming with Prime (normalized to isolated 1-thread runs) ==")
+	fmt.Fprintln(out, "== Figure 5e,f: multiprogramming with Prime (normalized to isolated 1-thread runs) ==")
 	appThreads := []int{2, 4, 8, 12}
 	for _, name := range []string{"RandomGraph", "LFUCache"} {
 		f, _ := workloads.ByName(name)
@@ -129,92 +240,98 @@ func figure5mp(sc harness.SweepConfig) {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\n[Prime + %s]\n%-16s %10s %10s %10s\n", name, "mode", "appThreads", "appNorm", "primeNorm")
+		fmt.Fprintf(out, "\n[Prime + %s]\n%-16s %10s %10s %10s\n", name, "mode", "appThreads", "appNorm", "primeNorm")
 		for _, p := range pts {
-			fmt.Printf("%-16s %10d %10.2f %10.2f\n", p.Mode, p.AppThreads, p.AppNorm, p.PrimeNorm)
+			fmt.Fprintf(out, "%-16s %10d %10.2f %10.2f\n", p.Mode, p.AppThreads, p.AppNorm, p.PrimeNorm)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func overflow(sc harness.SweepConfig) {
-	fmt.Println("== Section 7.3: overflow (OT) cost vs unbounded victim buffer ==")
+	fmt.Fprintln(out, "== Section 7.3: overflow (OT) cost vs unbounded victim buffer ==")
 	res, err := harness.OverflowAblation(sc, []string{"RandomGraph", "RBTree", "HashTable"}, 8)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-14s %10s %10s\n", "workload", "overflows", "slowdown")
+	fmt.Fprintf(out, "%-14s %10s %10s\n", "workload", "overflows", "slowdown")
 	for _, r := range res {
-		fmt.Printf("%-14s %10d %9.2f%%\n", r.Workload, r.Overflows, (r.Slowdown-1)*100)
+		fmt.Fprintf(out, "%-14s %10d %9.2f%%\n", r.Workload, r.Overflows, (r.Slowdown-1)*100)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func sigAblation(sc harness.SweepConfig) {
-	fmt.Println("== Ablation: signature width (FlexTM(Lazy), Vacation-Low, 8 threads) ==")
+	fmt.Fprintln(out, "== Ablation: signature width (FlexTM(Lazy), Vacation-Low, 8 threads) ==")
 	res, err := harness.SignatureAblation(sc, "Vacation-Low", 8, []int{256, 512, 1024, 2048, 4096})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-8s %14s %14s\n", "bits", "txn/Mcycle", "aborts/commit")
+	fmt.Fprintf(out, "%-8s %14s %14s %14s %14s\n",
+		"bits", "txn/Mcycle", "aborts/commit", "observed FP", "analytic FP")
 	for _, r := range res {
-		fmt.Printf("%-8d %14.1f %14.2f\n", r.Bits, r.Throughput, r.AbortRate)
+		fmt.Fprintf(out, "%-8d %14.1f %14.2f %13.4f%% %13.4f%%\n",
+			r.Bits, r.Throughput, r.AbortRate, r.ObservedFP*100, r.PredictedFP*100)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func cmAblation(sc harness.SweepConfig) {
-	fmt.Println("== Ablation: contention managers (RandomGraph, 8 threads) ==")
+	fmt.Fprintln(out, "== Ablation: contention managers (RandomGraph, 8 threads) ==")
 	res, err := harness.ManagerAblation(sc, "RandomGraph", 8)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-8s %-12s %14s %14s\n", "mode", "manager", "txn/Mcycle", "aborts/commit")
+	fmt.Fprintf(out, "%-8s %-12s %14s %14s\n", "mode", "manager", "txn/Mcycle", "aborts/commit")
 	for _, r := range res {
-		fmt.Printf("%-8s %-12s %14.1f %14.2f\n", r.Mode, r.Manager, r.Throughput, r.AbortRate)
+		fmt.Fprintf(out, "%-8s %-12s %14.1f %14.2f\n", r.Mode, r.Manager, r.Throughput, r.AbortRate)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func logtmComparison(sc harness.SweepConfig) {
-	fmt.Println("== Extension: FlexTM vs alternative HTM designs (normalized to 1-thread CGL) ==")
+	fmt.Fprintln(out, "== Extension: FlexTM vs alternative HTM designs (normalized to 1-thread CGL) ==")
 	for _, name := range []string{"RBTree", "RandomGraph", "HashTable"} {
 		f, _ := workloads.ByName(name)
 		base, err := harness.Baseline(f, sc.Machine, sc.Ops)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\n[%s]\n%-16s", name, "system")
+		fmt.Fprintf(out, "\n[%s]\n%-16s", name, "system")
 		for _, th := range sc.Threads {
-			fmt.Printf("%8d", th)
+			fmt.Fprintf(out, "%8d", th)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, sys := range []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy, harness.LogTM, harness.Bulk} {
-			fmt.Printf("%-16s", sys)
+			fmt.Fprintf(out, "%-16s", sys)
 			for _, th := range sc.Threads {
 				res, err := harness.Run(harness.RunConfig{
 					System: sys, Workload: f, Threads: th,
 					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
+					Metrics: sc.Metrics,
 				})
 				if err != nil {
 					fatal(err)
 				}
-				fmt.Printf("%8.2f", res.Throughput/base)
+				if sc.OnResult != nil {
+		sc.OnResult(res)
+	}
+				fmt.Fprintf(out, "%8.2f", res.Throughput/base)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
 func table4(sc harness.SweepConfig) {
-	fmt.Println("== Table 4b: FlexWatcher vs Discover slowdowns ==")
+	fmt.Fprintln(out, "== Table 4b: FlexWatcher vs Discover slowdowns ==")
 	cfg := sc.Machine
 	cfg.Cores = 2
 	rows, err := flexwatcher.Table4(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(flexwatcher.PrintTable4(rows))
-	fmt.Println()
+	fmt.Fprint(out, flexwatcher.PrintTable4(rows))
+	fmt.Fprintln(out)
 }

@@ -20,6 +20,7 @@ import (
 	"flextm/internal/cm"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -106,6 +107,11 @@ type Runtime struct {
 	// analysis (see internal/trace).
 	Tracer *trace.Recorder
 
+	// tel mirrors the machine's telemetry registry (captured at New; nil
+	// when telemetry is off). The runtime charges contention-manager
+	// decisions and per-transaction cycle attribution to it.
+	tel *telemetry.Registry
+
 	onAbortEnemy func(th *Thread, enemy int)
 }
 
@@ -123,6 +129,7 @@ func New(sys *tmesi.System, mode Mode, mgr cm.Manager) *Runtime {
 		arenaIdx:  make([]int, cores),
 		current:   make([]*desc, cores),
 		stats:     make([]tmapi.Stats, cores),
+		tel:       sys.Telemetry(),
 	}
 	rt.tswTable = sys.Alloc().Alloc(cores * memory.LineWords)
 	for c := 0; c < cores; c++ {

@@ -5,6 +5,7 @@ import (
 	"flextm/internal/cst"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -20,6 +21,12 @@ type Thread struct {
 	d     *desc
 
 	consecAborts int
+
+	// Cycle-attribution bookkeeping for the current attempt (telemetry):
+	// when the attempt started and how many of its cycles were spent
+	// stalled in contention-manager back-off.
+	attemptStart sim.Time
+	stallCycles  sim.Time
 }
 
 // Core implements tmapi.Thread.
@@ -72,7 +79,11 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 		if y := th.rt.OnAbortYield; y != nil {
 			y(th)
 		}
-		th.ctx.Advance(th.rt.mgr.RetryBackoff(th.consecAborts, th.rnd))
+		backoff := th.rt.mgr.RetryBackoff(th.consecAborts, th.rnd)
+		th.ctx.Advance(backoff)
+		// Retry back-off is stall-wait: the thread sits between attempts.
+		th.rt.tel.Add(th.core, telemetry.CtrCMBackoffCycles, backoff)
+		th.rt.tel.Add(th.core, telemetry.CtrCycStall, backoff)
 	}
 }
 
@@ -102,6 +113,8 @@ func (th *Thread) attempt(stamp uint64, body func(tmapi.Txn)) (committed bool) {
 // mode on, registers checkpointed.
 func (th *Thread) begin(stamp uint64) {
 	rt, sys := th.rt, th.rt.sys
+	th.attemptStart = th.ctx.Now()
+	th.stallCycles = 0
 	d := &desc{tsw: rt.nextTSW(th.core), stamp: stamp, live: true}
 	th.d = d
 	debugf("t=%d c=%d BEGIN tsw=%d", th.ctx.Now(), th.core, d.tsw)
@@ -133,6 +146,23 @@ func (th *Thread) onAbort() {
 		sys.AbortFlash(th.ctx, th.core)
 	}
 	th.ctx.Advance(th.rt.costs.AbortWork)
+	if tel := th.rt.tel; tel != nil {
+		// The whole attempt (including the abort handler) is discarded
+		// work, except the cycles already classified as stall-wait.
+		total := th.ctx.Now() - th.attemptStart
+		tel.Inc(th.core, telemetry.CtrTxnAborts)
+		tel.Add(th.core, telemetry.CtrCycAborted, clampSub(total, th.stallCycles))
+		tel.Add(th.core, telemetry.CtrCycStall, th.stallCycles)
+		tel.Observe(th.core, telemetry.HistAbortCycles, total)
+	}
+}
+
+// clampSub returns a-b, clamped at zero.
+func clampSub(a, b sim.Time) sim.Time {
+	if a < b {
+		return 0
+	}
+	return a - b
 }
 
 // abortPanic unwinds the current transaction body.
@@ -222,9 +252,13 @@ func (th *Thread) resolveConflict(c tmesi.Conflict) {
 		}, th.rnd)
 		switch dec {
 		case cm.AbortSelf:
+			rt.tel.Inc(th.core, telemetry.CtrCMAbortSelf)
+			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-self", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortSelf, c.Responder)
 			abortPanic()
 		case cm.AbortEnemy:
+			rt.tel.Inc(th.core, telemetry.CtrCMAbortEnemy)
+			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-enemy", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortEnemy, c.Responder)
 			debugf("t=%d c=%d CM abort-enemy %d", th.ctx.Now(), th.core, c.Responder)
 			th.abortRemote(c.Responder)
@@ -234,6 +268,10 @@ func (th *Thread) resolveConflict(c tmesi.Conflict) {
 			th.clearLocalCST(c.Responder)
 			return
 		case cm.Wait:
+			rt.tel.Inc(th.core, telemetry.CtrCMWait)
+			rt.tel.Add(th.core, telemetry.CtrCMWaitCycles, wait)
+			rt.tel.Observe(th.core, telemetry.HistCMWaitCycles, wait)
+			th.stallCycles += wait
 			th.ctx.Advance(wait)
 			status := th.enemyStatus(c.Responder)
 			switch status {
@@ -293,6 +331,7 @@ func (th *Thread) clearLocalCST(enemy int) {
 	t.Get(cst.WR).Clear(enemy)
 	t.Get(cst.WW).Clear(enemy)
 	t.Get(cst.RW).Clear(enemy)
+	th.rt.tel.Add(th.core, telemetry.CtrCSTClear, 3)
 }
 
 // commit implements END_TRANSACTION via the Commit() routine of Figure 3.
@@ -301,11 +340,13 @@ func (th *Thread) clearLocalCST(enemy int) {
 // conflicts that arrive concurrently with committing.
 func (th *Thread) commit() {
 	rt, sys := th.rt, th.rt.sys
+	commitStart := th.ctx.Now()
 	var resolved cst.Vec
 	for {
 		table := sys.CST(th.core)
 		wr := table.Get(cst.WR).CopyAndClear()
 		ww := table.Get(cst.WW).CopyAndClear()
+		rt.tel.Add(th.core, telemetry.CtrCSTCopyClear, 2)
 		rw := *table.Get(cst.RW)
 		enemies := wr | ww
 		for _, e := range enemies.Procs() {
@@ -344,8 +385,20 @@ func (th *Thread) commit() {
 				// transaction (Section 3.6).
 				for _, x := range rw.Procs() {
 					sys.CST(x).Get(cst.WR).Clear(th.core)
+					rt.tel.Inc(th.core, telemetry.CtrCSTClear)
 					th.ctx.Advance(rt.costs.CSTWrite)
 				}
+			}
+			if tel := rt.tel; tel != nil {
+				now := th.ctx.Now()
+				total := now - th.attemptStart
+				commitOv := now - commitStart
+				tel.Inc(th.core, telemetry.CtrTxnCommits)
+				tel.Add(th.core, telemetry.CtrCycUseful,
+					clampSub(total, commitOv+th.stallCycles))
+				tel.Add(th.core, telemetry.CtrCycCommitOv, commitOv)
+				tel.Add(th.core, telemetry.CtrCycStall, th.stallCycles)
+				tel.Observe(th.core, telemetry.HistCommitCycles, total)
 			}
 			return
 		case tmesi.CommitAborted:

@@ -35,6 +35,19 @@ type SweepConfig struct {
 	Threads []int
 	Ops     int
 	Verify  bool
+	// Metrics attaches a telemetry registry to every run of the sweep; each
+	// Result then carries a counter snapshot.
+	Metrics bool
+	// OnResult, if non-nil, observes every data point as it completes
+	// (paperbench uses it for machine-readable output).
+	OnResult func(Result)
+}
+
+// observe forwards a finished data point to the sweep's observer.
+func (sc SweepConfig) observe(res Result) {
+	if sc.OnResult != nil {
+		sc.OnResult(res)
+	}
 }
 
 // DefaultSweep is the paper's sweep: 1..16 threads on the Table 3(a)
@@ -117,11 +130,12 @@ func sweepWithBase(sc SweepConfig, f workloads.Factory, systems []SystemName, ba
 		for _, th := range sc.Threads {
 			res, err := Run(RunConfig{
 				System: sysName, Workload: f, Threads: th, OpsPerThread: sc.Ops,
-				Machine: sc.Machine, Verify: sc.Verify,
+				Machine: sc.Machine, Verify: sc.Verify, Metrics: sc.Metrics,
 			})
 			if err != nil {
 				return Plot{}, fmt.Errorf("%s@%d: %w", sysName, th, err)
 			}
+			sc.observe(res)
 			s.Points[th] = res.Throughput / base
 			if sysName == FlexTMEager || sysName == FlexTMLazy {
 				switch th {
@@ -297,17 +311,21 @@ func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowRe
 		bounded, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: small, Verify: sc.Verify,
+			Metrics: sc.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
+		sc.observe(bounded)
 		ideal, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: unbounded, Verify: sc.Verify,
+			Metrics: sc.Metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
+		sc.observe(ideal)
 		r := OverflowResult{Workload: name, Overflows: bounded.Machine.Overflows}
 		if bounded.Throughput > 0 {
 			r.Slowdown = ideal.Throughput / bounded.Throughput
@@ -352,11 +370,18 @@ type SigResult struct {
 	Bits       int
 	Throughput float64
 	AbortRate  float64
+	// ObservedFP is the run's empirical false-positive rate over all
+	// membership tests whose ground truth was negative; PredictedFP is the
+	// analytic signature.FalsePositiveRate averaged over the same tests.
+	ObservedFP  float64
+	PredictedFP float64
 }
 
 // SignatureAblation sweeps the signature width for FlexTM(Lazy) on the
 // given workload (a DESIGN.md extension experiment; the paper fixes the
-// width at 2048 bits after Sanchez et al.).
+// width at 2048 bits after Sanchez et al.). Telemetry is always on here:
+// the audit-mode signatures provide the ground truth that splits probe
+// hits into true conflicts and Bloom aliasing.
 func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) ([]SigResult, error) {
 	f, ok := workloads.ByName(name)
 	if !ok {
@@ -369,15 +394,21 @@ func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) (
 		res, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
+			Metrics: true,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sig width %d: %w", bits, err)
 		}
-		out = append(out, SigResult{
+		sc.observe(res)
+		r := SigResult{
 			Bits:       bits,
 			Throughput: res.Throughput,
 			AbortRate:  float64(res.Aborts) / float64(res.Commits),
-		})
+		}
+		if res.Telemetry != nil {
+			r.ObservedFP, r.PredictedFP = res.Telemetry.SigFPRates()
+		}
+		out = append(out, r)
 	}
 	return out, nil
 }

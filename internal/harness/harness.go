@@ -16,6 +16,7 @@ import (
 	"flextm/internal/cm"
 	"flextm/internal/core"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -80,6 +81,11 @@ type RunConfig struct {
 	// Tracer, if non-nil, records transaction-level events (FlexTM
 	// systems only; other runtimes ignore it).
 	Tracer *trace.Recorder
+	// Metrics attaches a telemetry registry to the machine before the run;
+	// the run's counter snapshot is returned in Result.Telemetry. Off by
+	// default: instrumentation sites then see a nil registry and pay only a
+	// branch.
+	Metrics bool
 	// YieldTo, if non-nil, is invoked by FlexTM threads when a transaction
 	// aborts, before retrying (the multiprogramming experiment's
 	// user-level yield).
@@ -115,6 +121,10 @@ type Result struct {
 	MaxConflicts    int
 
 	Machine tmesi.Stats
+
+	// Telemetry is the run's per-mechanism counter snapshot; nil unless
+	// RunConfig.Metrics was set.
+	Telemetry *telemetry.Snapshot
 }
 
 // Run executes one configuration and returns its result.
@@ -132,6 +142,11 @@ func Run(rc RunConfig) (Result, error) {
 	}
 	warmup := (warmupTotal + rc.Threads - 1) / rc.Threads
 	sys := tmesi.New(rc.Machine)
+	if rc.Metrics {
+		// Attach before NewRuntime: the runtime captures the registry (and
+		// the signatures switch into audit mode) at construction.
+		sys.SetTelemetry(telemetry.New(rc.Machine.Cores))
+	}
 	rt, err := NewRuntime(rc.System, sys)
 	if err != nil {
 		return Result{}, err
@@ -200,6 +215,10 @@ func Run(rc RunConfig) (Result, error) {
 		res.Throughput = float64(rc.Threads*ops) / float64(windowEnd-windowStart) * 1e6
 	}
 	res.MedianConflicts, res.MaxConflicts = st.MedianMaxConflicts()
+	if tel := sys.Telemetry(); tel != nil {
+		snap := tel.Snapshot()
+		res.Telemetry = &snap
+	}
 	return res, nil
 }
 

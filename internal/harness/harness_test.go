@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"flextm/internal/telemetry"
 	"flextm/internal/tmesi"
 	"flextm/internal/workloads"
 )
@@ -192,5 +193,106 @@ func TestManagerAblationRuns(t *testing.T) {
 		if r.Throughput <= 0 {
 			t.Errorf("%s/%s: zero throughput", r.Mode, r.Manager)
 		}
+	}
+}
+
+func TestRunWithMetricsAttachesTelemetry(t *testing.T) {
+	f, _ := workloads.ByName("HashTable")
+	rc := RunConfig{
+		System: FlexTMEager, Workload: f, Threads: 4, OpsPerThread: 50,
+		WarmupOps: 40, Machine: tmesi.DefaultConfig(), Verify: true,
+	}
+	plain, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Telemetry != nil {
+		t.Fatal("telemetry present without Metrics")
+	}
+	rc.Metrics = true
+	res, err := Run(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Metrics run returned no telemetry snapshot")
+	}
+	snap := *res.Telemetry
+	if snap.Empty() {
+		t.Fatal("telemetry snapshot is empty")
+	}
+	// The attribution layer and the runtime's own stats must agree.
+	a := snap.Attribution()
+	if a.Commits != res.Commits {
+		t.Fatalf("attributed commits = %d, stats commits = %d", a.Commits, res.Commits)
+	}
+	if a.Aborts != res.Aborts {
+		t.Fatalf("attributed aborts = %d, stats aborts = %d", a.Aborts, res.Aborts)
+	}
+	// The protocol layer counted the same CAS-Commit successes.
+	if ok := snap.Total(telemetry.CtrCommitOK); ok != res.Commits {
+		t.Fatalf("cas-commit-ok = %d, commits = %d", ok, res.Commits)
+	}
+	// Every committed transaction spent some cycles; most of them useful.
+	if a.Useful == 0 || a.Total() == 0 {
+		t.Fatalf("degenerate attribution %+v", a)
+	}
+	// Commit-cycle histogram saw every commit.
+	if h := snap.Hist(telemetry.HistCommitCycles); h.Count != res.Commits {
+		t.Fatalf("commit histogram n=%d, commits=%d", h.Count, res.Commits)
+	}
+	// Signature accounting is consistent: with audit mode on, observed and
+	// predicted FP rates are both probabilities.
+	obs, pred := snap.SigFPRates()
+	if obs < 0 || obs > 1 || pred < 0 || pred > 1 {
+		t.Fatalf("FP rates out of range: observed=%f predicted=%f", obs, pred)
+	}
+}
+
+func TestMetricsOverheadStaysDisabled(t *testing.T) {
+	// Without Metrics, the machine's registry must stay nil so the
+	// instrumentation sites take only their nil-check branch.
+	sys := tmesi.New(tmesi.DefaultConfig())
+	if sys.Telemetry() != nil {
+		t.Fatal("fresh system has telemetry attached")
+	}
+}
+
+func TestSignatureAblationReportsFPRates(t *testing.T) {
+	sc := quickSweep()
+	res, err := SignatureAblation(sc, "HashTable", 4, []int{256, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("points = %d", len(res))
+	}
+	// A 64-bit signature aliases far more than a 2048-bit one.
+	if res[0].ObservedFP < res[1].ObservedFP {
+		t.Fatalf("narrow FP %f < wide FP %f", res[0].ObservedFP, res[1].ObservedFP)
+	}
+	for _, r := range res {
+		if r.ObservedFP < 0 || r.ObservedFP > 1 || r.PredictedFP < 0 || r.PredictedFP > 1 {
+			t.Fatalf("FP rates out of range: %+v", r)
+		}
+	}
+}
+
+func TestSweepOnResultObservesEveryPoint(t *testing.T) {
+	sc := quickSweep()
+	sc.Metrics = true
+	var seen int
+	sc.OnResult = func(res Result) {
+		seen++
+		if res.Telemetry == nil {
+			t.Errorf("%s@%d: no telemetry under Metrics sweep", res.System, res.Threads)
+		}
+	}
+	f, _ := workloads.ByName("HashTable")
+	if _, err := sweep(sc, f, []SystemName{FlexTMEager}); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sc.Threads); seen != want {
+		t.Fatalf("OnResult fired %d times, want %d", seen, want)
 	}
 }

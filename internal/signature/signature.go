@@ -40,6 +40,11 @@ type Sig struct {
 	bankBits int
 	words    []uint64 // Bits/64 words, bank-major
 	inserts  int
+	// audit, when non-nil, shadows the inserted set precisely so membership
+	// tests can be split into true hits and Bloom false positives (the
+	// telemetry layer's empirical FP accounting). Hardware has no such
+	// shadow; it exists purely for measurement and is off by default.
+	audit map[memory.LineAddr]struct{}
 }
 
 // New returns an empty signature with the given geometry.
@@ -87,6 +92,9 @@ func (s *Sig) Insert(l memory.LineAddr) {
 		s.words[w] |= 1 << m
 	}
 	s.inserts++
+	if s.audit != nil {
+		s.audit[l] = struct{}{}
+	}
 }
 
 // Member reports whether l may have been inserted (the paper's "member"
@@ -108,6 +116,9 @@ func (s *Sig) Clear() {
 		s.words[i] = 0
 	}
 	s.inserts = 0
+	if s.audit != nil {
+		clear(s.audit)
+	}
 }
 
 // Union ORs other into s. The OS uses this to build the summary signatures
@@ -121,6 +132,11 @@ func (s *Sig) Union(other *Sig) {
 		s.words[i] |= w
 	}
 	s.inserts += other.inserts
+	if s.audit != nil && other.audit != nil {
+		for l := range other.audit {
+			s.audit[l] = struct{}{}
+		}
+	}
 }
 
 // CopyFrom overwrites s with other's contents (used when the OS restores a
@@ -131,13 +147,59 @@ func (s *Sig) CopyFrom(other *Sig) {
 	}
 	copy(s.words, other.words)
 	s.inserts = other.inserts
+	if s.audit != nil {
+		clear(s.audit)
+		for l := range other.audit {
+			s.audit[l] = struct{}{}
+		}
+	}
 }
 
-// Clone returns an independent copy of s.
+// Clone returns an independent copy of s (audit mode included).
 func (s *Sig) Clone() *Sig {
 	n := New(s.cfg)
+	if s.audit != nil {
+		n.EnableAudit()
+	}
 	n.CopyFrom(s)
 	return n
+}
+
+// EnableAudit switches on the precise shadow set. Only lines inserted after
+// the call are shadowed, so callers should enable it while the signature is
+// empty (FlexTM enables it at telemetry attach, before any transaction).
+func (s *Sig) EnableAudit() {
+	if s.audit == nil {
+		s.audit = make(map[memory.LineAddr]struct{})
+	}
+}
+
+// AuditEnabled reports whether the precise shadow set is maintained.
+func (s *Sig) AuditEnabled() bool { return s.audit != nil }
+
+// Inserted reports ground truth: whether l was actually inserted since the
+// last Clear. Only meaningful with audit enabled; a true Member result with
+// a false Inserted result is a Bloom false positive.
+func (s *Sig) Inserted(l memory.LineAddr) bool {
+	_, ok := s.audit[l]
+	return ok
+}
+
+// Distinct returns the number of distinct lines inserted since the last
+// Clear when audit is enabled; otherwise it falls back to the Insert-call
+// count (an upper bound).
+func (s *Sig) Distinct() int {
+	if s.audit != nil {
+		return len(s.audit)
+	}
+	return s.inserts
+}
+
+// PredictedFPR returns the analytic false-positive estimate for the
+// signature's current occupancy (FalsePositiveRate at Distinct()
+// insertions).
+func (s *Sig) PredictedFPR() float64 {
+	return FalsePositiveRate(s.cfg, s.Distinct())
 }
 
 // Empty reports whether no address has been inserted since the last Clear.

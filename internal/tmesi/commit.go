@@ -7,6 +7,7 @@ import (
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 )
 
 // CommitOutcome is the result of a CAS-Commit.
@@ -47,20 +48,23 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 
 	if ln.Data[tsw.Offset()] != old {
 		// An enemy changed the TSW (aborted us): revert speculative lines.
-		s.flashAbortLocked(c)
+		s.tel.Inc(core, telemetry.CtrCommitAborted)
+		s.flashAbortLocked(c, core)
 		ctx.Advance(lat)
 		return CommitAborted
 	}
 	if checkCST && !c.table.Enemies().Empty() {
 		// Unresolved W-R/W-W conflicts: hardware refuses the commit.
 		s.stats.CASCommitCSTFails++
+		s.tel.Inc(core, telemetry.CtrCommitCSTFail)
 		ctx.Advance(lat)
 		return CommitCSTFail
 	}
 
 	ln.Data[tsw.Offset()] = new
 	s.stats.FlashCommits++
-	c.l1.FlashCommit()
+	s.tel.Inc(core, telemetry.CtrCommitOK)
+	s.tel.Add(core, telemetry.CtrFlashCommitLines, uint64(len(c.l1.FlashCommit())))
 
 	if c.ot != nil && c.ot.Count() == 0 {
 		// Every overflowed line was fetched back before commit: nothing to
@@ -75,6 +79,7 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 		// it (modeled by the drain window).
 		n := c.ot.Count()
 		c.ot.SetCommitted()
+		s.tel.Add(core, telemetry.CtrOTDrainLine, uint64(n))
 		drained := signature.New(s.cfg.Sig)
 		c.ot.Drain(func(phys, logical memory.LineAddr, data memory.LineData) {
 			s.image.WriteLine(phys, &data)
@@ -97,13 +102,13 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 func (s *System) AbortFlash(ctx *sim.Ctx, core int) {
 	ctx.Sync()
 	c := &s.cores[core]
-	s.flashAbortLocked(c)
+	s.flashAbortLocked(c, core)
 	ctx.Advance(s.cfg.L1Hit)
 }
 
-func (s *System) flashAbortLocked(c *coreState) {
+func (s *System) flashAbortLocked(c *coreState, core int) {
 	s.stats.FlashAborts++
-	c.l1.FlashAbort()
+	s.tel.Add(core, telemetry.CtrFlashAbortLines, uint64(c.l1.FlashAbort()))
 	if c.ot != nil {
 		c.ot.Discard()
 	}
@@ -128,6 +133,7 @@ func (s *System) endTxn(c *coreState) {
 func (s *System) ALoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	res := s.Load(ctx, core, a)
 	c := &s.cores[core]
+	s.tel.Inc(core, telemetry.CtrALoad)
 	if ln := c.l1.Lookup(a.Line()); ln != nil {
 		if !ln.Alert {
 			ln.Alert = true
@@ -138,6 +144,7 @@ func (s *System) ALoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 		// the alert immediately so software re-examines the word.
 		c.alerts.Enqueue(a.Line())
 		s.stats.Alerts++
+		s.tel.Inc(core, telemetry.CtrAlert)
 	}
 	return res
 }
@@ -173,7 +180,7 @@ func (s *System) ForceWord(a memory.Addr, v uint64) {
 			if rln.State == cache.Modified {
 				s.image.WriteLine(line, &rln.Data)
 			}
-			s.invalidateLine(rc, rln)
+			s.invalidateLine(rc, r, rln)
 		}
 	}
 	s.image.WriteWord(a, v)
@@ -279,6 +286,7 @@ func overflowNew(cfg Config) *overflow.Table {
 func (s *System) RaiseAlert(core int, a memory.Addr) {
 	s.cores[core].alerts.Enqueue(a.Line())
 	s.stats.Alerts++
+	s.tel.Inc(core, telemetry.CtrAlert)
 }
 
 // RemapLine implements the OS side of a page remap for one line
@@ -300,7 +308,7 @@ func (s *System) RemapLine(core int, oldLine, newLine memory.LineAddr) {
 	// Invalidate any cached copy of the old frame: the mapping is gone.
 	// TMI data has already been moved to the OT by the unmap flush.
 	if ln := c.l1.Lookup(oldLine); ln != nil {
-		s.invalidateLine(c, ln)
+		s.invalidateLine(c, core, ln)
 	}
 }
 

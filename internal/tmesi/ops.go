@@ -5,6 +5,7 @@ import (
 	"flextm/internal/cst"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 )
 
 // reqKind is the coherence request type of Figure 1.
@@ -40,8 +41,8 @@ func (s *System) TLoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	}
 	s.stats.L1Misses++
 
-	if data, ok, otLat := s.otFetch(c, line); ok {
-		lat += otLat + s.insertLine(c, cache.Line{Tag: line, State: cache.TMI, Data: data})
+	if data, ok, otLat := s.otFetch(c, core, line); ok {
+		lat += otLat + s.insertLine(c, core, cache.Line{Tag: line, State: cache.TMI, Data: data})
 		c.rsig.Insert(line)
 		res.Val = data[a.Offset()]
 		ctx.Advance(lat)
@@ -59,10 +60,11 @@ func (s *System) TLoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	st := cache.Exclusive
 	if pr.threatened {
 		st = cache.TI
+		s.tel.Inc(core, telemetry.CtrTIEnter)
 	} else if pr.copiesRemain {
 		st = cache.Shared
 	}
-	lat += s.insertLine(c, cache.Line{Tag: line, State: st, Data: data})
+	lat += s.insertLine(c, core, cache.Line{Tag: line, State: st, Data: data})
 	c.rsig.Insert(line)
 	res.Val = data[a.Offset()]
 	res.Conflicts = pr.conflicts
@@ -89,8 +91,8 @@ func (s *System) Load(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	}
 	s.stats.L1Misses++
 
-	if data, ok, otLat := s.otFetch(c, line); ok {
-		lat += otLat + s.insertLine(c, cache.Line{Tag: line, State: cache.TMI, Data: data})
+	if data, ok, otLat := s.otFetch(c, core, line); ok {
+		lat += otLat + s.insertLine(c, core, cache.Line{Tag: line, State: cache.TMI, Data: data})
 		res.Val = data[a.Offset()]
 		ctx.Advance(lat)
 		return res
@@ -110,7 +112,7 @@ func (s *System) Load(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 		if pr.copiesRemain {
 			st = cache.Shared
 		}
-		lat += s.insertLine(c, cache.Line{Tag: line, State: st, Data: data})
+		lat += s.insertLine(c, core, cache.Line{Tag: line, State: st, Data: data})
 	}
 	ctx.Advance(lat)
 	return res
@@ -139,8 +141,10 @@ func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResul
 			s.l2.Touch(line)
 			lat += s.netLat() + s.cfg.L2Hit
 			ln.State = cache.TMI
+			s.tel.Inc(core, telemetry.CtrTMIEnter)
 		case cache.Exclusive:
 			ln.State = cache.TMI // silent: directory already thinks E
+			s.tel.Inc(core, telemetry.CtrTMIEnter)
 		case cache.Shared, cache.TI:
 			// Upgrade requires a TGETX so other sharers are invalidated
 			// and conflicts are detected.
@@ -149,6 +153,7 @@ func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResul
 			lat += pr.lat
 			res.Conflicts = pr.conflicts
 			ln.State = cache.TMI
+			s.tel.Inc(core, telemetry.CtrTMIEnter)
 		}
 		ln.Data[a.Offset()] = v
 		c.wsig.Insert(line)
@@ -157,9 +162,9 @@ func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResul
 	}
 	s.stats.L1Misses++
 
-	if data, ok, otLat := s.otFetch(c, line); ok {
+	if data, ok, otLat := s.otFetch(c, core, line); ok {
 		data[a.Offset()] = v
-		lat += otLat + s.insertLine(c, cache.Line{Tag: line, State: cache.TMI, Data: data})
+		lat += otLat + s.insertLine(c, core, cache.Line{Tag: line, State: cache.TMI, Data: data})
 		c.wsig.Insert(line)
 		ctx.Advance(lat)
 		return res
@@ -174,7 +179,8 @@ func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResul
 	var data memory.LineData
 	s.image.ReadLine(line, &data)
 	data[a.Offset()] = v
-	lat += s.insertLine(c, cache.Line{Tag: line, State: cache.TMI, Data: data})
+	s.tel.Inc(core, telemetry.CtrTMIEnter)
+	lat += s.insertLine(c, core, cache.Line{Tag: line, State: cache.TMI, Data: data})
 	c.wsig.Insert(line)
 	res.Conflicts = pr.conflicts
 	ctx.Advance(lat)
@@ -250,9 +256,9 @@ func (s *System) ensureExclusive(ctx *sim.Ctx, core int, line memory.LineAddr) (
 		}
 	}
 	s.stats.L1Misses++
-	if data, ok, otLat := s.otFetch(c, line); ok {
+	if data, ok, otLat := s.otFetch(c, core, line); ok {
 		// Own overflowed speculative line: restore as TMI and write into it.
-		lat += otLat + s.insertLine(c, cache.Line{Tag: line, State: cache.TMI, Data: data})
+		lat += otLat + s.insertLine(c, core, cache.Line{Tag: line, State: cache.TMI, Data: data})
 		return lat, c.l1.Lookup(line)
 	} else {
 		lat += otLat
@@ -262,7 +268,7 @@ func (s *System) ensureExclusive(ctx *sim.Ctx, core int, line memory.LineAddr) (
 	lat += pr.lat + s.fillLat(line)
 	var data memory.LineData
 	s.image.ReadLine(line, &data)
-	lat += s.insertLine(c, cache.Line{Tag: line, State: cache.Modified, Data: data})
+	lat += s.insertLine(c, core, cache.Line{Tag: line, State: cache.Modified, Data: data})
 	return lat, c.l1.Lookup(line)
 }
 
@@ -290,11 +296,18 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 		rln := rc.l1.Lookup(line)
 		sigW := rc.txnActive && rc.wsig.Member(line)
 		sigR := rc.txnActive && rc.rsig.Member(line)
+		if s.tel != nil && rc.txnActive {
+			// Split this round's membership tests into true conflicts and
+			// Bloom aliasing, attributed to the signature's owner.
+			s.classifySig(r, rc.wsig, line, sigW)
+			s.classifySig(r, rc.rsig, line, sigR)
+		}
 		if rln == nil && !sigW && !sigR {
 			continue
 		}
 		probed = true
 		s.stats.Probes++
+		s.tel.Inc(core, telemetry.CtrProbes)
 
 		// Sticky sharers: a processor whose active transaction's signature
 		// covers the line stays on the directory's sharer list even after
@@ -311,28 +324,38 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 			if sigW {
 				pr.threatened = true
 				s.stats.ThreatenedResponses++
+				s.tel.Inc(core, telemetry.CtrThreatened)
 				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened})
 				if kind == reqGETST {
 					rc.table.Set(cst.WR, core)
 					c.table.Set(cst.RW, r)
+					s.tel.Inc(r, telemetry.CtrCSTSet)
+					s.tel.Inc(core, telemetry.CtrCSTSet)
 				}
 			}
 		case reqTGETX:
 			if sigW {
 				pr.threatened = true
 				s.stats.ThreatenedResponses++
+				s.tel.Inc(core, telemetry.CtrThreatened)
 				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened})
 				rc.table.Set(cst.WW, core)
 				c.table.Set(cst.WW, r)
+				s.tel.Inc(r, telemetry.CtrCSTSet)
+				s.tel.Inc(core, telemetry.CtrCSTSet)
 			} else if sigR {
 				s.stats.ExposedReadResponses++
+				s.tel.Inc(core, telemetry.CtrExposedRead)
 				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: ExposedRead})
 				rc.table.Set(cst.RW, core)
 				c.table.Set(cst.WR, r)
+				s.tel.Inc(r, telemetry.CtrCSTSet)
+				s.tel.Inc(core, telemetry.CtrCSTSet)
 			}
 		case reqGETX:
 			if sigW || sigR {
 				s.stats.StrongIsolationAborts++
+				s.tel.Inc(r, telemetry.CtrStrongIsoAbort)
 				if s.strongIsolationHook != nil {
 					s.strongIsolationHook(r)
 				}
@@ -366,9 +389,9 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 			case cache.Modified:
 				s.image.WriteLine(line, &rln.Data)
 				s.l2.Touch(line)
-				s.invalidateLine(rc, rln)
+				s.invalidateLine(rc, r, rln)
 			case cache.Exclusive, cache.Shared, cache.TI:
-				s.invalidateLine(rc, rln)
+				s.invalidateLine(rc, r, rln)
 			case cache.TMI:
 				// Multiple owners: each speculative writer keeps its copy.
 			}
@@ -379,7 +402,7 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 			}
 			// Strong isolation already doomed any speculative owner, so
 			// even TMI copies are dropped.
-			s.invalidateLine(rc, rln)
+			s.invalidateLine(rc, r, rln)
 		}
 	}
 
@@ -398,6 +421,7 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 		}
 		if hitW || (kind.write() && hitR) {
 			s.stats.SummaryTraps++
+			s.tel.Inc(core, telemetry.CtrSummaryTrap)
 			pr.lat += s.cfg.TrapLat
 			cs := s.summaryHook(core, line, kind.write())
 			for _, cf := range cs {
@@ -416,12 +440,13 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 }
 
 // invalidateLine drops a remote copy, firing an AOU alert if the line
-// carried the A bit.
-func (s *System) invalidateLine(rc *coreState, rln *cache.Line) {
+// carried the A bit. owner is rc's core index (for telemetry attribution).
+func (s *System) invalidateLine(rc *coreState, owner int, rln *cache.Line) {
 	if rln.Alert {
 		rc.alerts.Enqueue(rln.Tag)
 		rc.alerts.MarkRemoved()
 		s.stats.Alerts++
+		s.tel.Inc(owner, telemetry.CtrAlert)
 	}
 	rln.State = cache.Invalid
 	rln.Alert = false
@@ -429,21 +454,23 @@ func (s *System) invalidateLine(rc *coreState, rln *cache.Line) {
 
 // otFetch checks the core's overflow table for line and fetches it back on
 // a hit. It returns the extra latency of the Osig/table walk.
-func (s *System) otFetch(c *coreState, line memory.LineAddr) (memory.LineData, bool, sim.Time) {
+func (s *System) otFetch(c *coreState, core int, line memory.LineAddr) (memory.LineData, bool, sim.Time) {
 	if c.ot == nil || !c.ot.MayContain(line) {
 		return memory.LineData{}, false, 0
 	}
 	if data, ok := c.ot.LookupInvalidate(line); ok {
 		s.stats.OTFetches++
+		s.tel.Inc(core, telemetry.CtrOTWalkHit)
 		return data, true, s.cfg.OTAccess
 	}
 	// Osig false positive: the walk happened but found nothing.
+	s.tel.Inc(core, telemetry.CtrOTWalkFalse)
 	return memory.LineData{}, false, s.cfg.OTAccess
 }
 
 // insertLine installs a line in core's L1, handling spills from the victim
 // buffer: M lines write back, TMI lines overflow to the OT, others drop.
-func (s *System) insertLine(c *coreState, ln cache.Line) sim.Time {
+func (s *System) insertLine(c *coreState, core int, ln cache.Line) sim.Time {
 	var lat sim.Time
 	for _, v := range c.l1.Insert(ln) {
 		sp := v.Line
@@ -452,6 +479,7 @@ func (s *System) insertLine(c *coreState, ln cache.Line) sim.Time {
 			c.alerts.Enqueue(sp.Tag)
 			c.alerts.MarkRemoved()
 			s.stats.Alerts++
+			s.tel.Inc(core, telemetry.CtrAlert)
 		}
 		switch sp.State {
 		case cache.Modified:
@@ -463,13 +491,16 @@ func (s *System) insertLine(c *coreState, ln cache.Line) sim.Time {
 				// fill the controller registers.
 				c.ot = overflowNew(s.cfg)
 				s.stats.OTAllocs++
+				s.tel.Inc(core, telemetry.CtrOTAlloc)
 				lat += s.cfg.TrapLat
 			}
 			if c.ot.Insert(sp.Tag, sp.Tag, sp.Data) {
 				lat += s.cfg.TrapLat // way overflow: OS expands the table
+				s.tel.Inc(core, telemetry.CtrOTExpand)
 			}
 			lat += s.cfg.OTAccess
 			s.stats.Overflows++
+			s.tel.Inc(core, telemetry.CtrOTSpill)
 		}
 	}
 	return lat

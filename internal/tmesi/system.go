@@ -26,6 +26,7 @@ import (
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 )
 
 // Config fixes the machine geometry and latency model. Defaults follow
@@ -166,6 +167,11 @@ type System struct {
 	l2    *cache.TagCache
 	stats Stats
 
+	// tel is the per-mechanism telemetry registry; nil means disabled
+	// (telemetry.Registry methods are nil-safe, so instrumentation sites
+	// call unconditionally).
+	tel *telemetry.Registry
+
 	// Summary signatures installed at the directory for descheduled
 	// transactions (Section 5), plus the handler the L2 traps into.
 	summaryR    *signature.Sig
@@ -213,6 +219,47 @@ func (s *System) Alloc() *memory.Allocator { return s.alloc }
 
 // Stats returns a snapshot of the machine counters.
 func (s *System) Stats() Stats { return s.stats }
+
+// SetTelemetry attaches (or, with nil, detaches) a telemetry registry. The
+// registry must be sized for at least Config().Cores cores. Attaching also
+// switches every access signature into audit mode so membership tests can
+// be split into true conflicts and Bloom false positives; attach before
+// running transactions so the shadow sets are complete.
+func (s *System) SetTelemetry(r *telemetry.Registry) {
+	s.tel = r
+	if r == nil {
+		return
+	}
+	for i := range s.cores {
+		s.cores[i].rsig.EnableAudit()
+		s.cores[i].wsig.EnableAudit()
+	}
+}
+
+// Telemetry returns the attached registry (nil when telemetry is off).
+func (s *System) Telemetry() *telemetry.Registry { return s.tel }
+
+// classifySig records the outcome of one signature membership test against
+// the precise shadow set: a true hit, a Bloom false positive, or a true
+// negative — accumulating the analytic FP prediction at every
+// ground-truth-negative test so observed and predicted rates are computed
+// over the same population. Called only when telemetry is attached.
+func (s *System) classifySig(owner int, sig *signature.Sig, line memory.LineAddr, member bool) {
+	if !sig.AuditEnabled() {
+		return
+	}
+	if sig.Inserted(line) {
+		// No false negatives: member is necessarily true here.
+		s.tel.Inc(owner, telemetry.CtrSigTruePos)
+		return
+	}
+	s.tel.Add(owner, telemetry.CtrSigPredFPpm, uint64(sig.PredictedFPR()*1e6))
+	if member {
+		s.tel.Inc(owner, telemetry.CtrSigFalsePos)
+	} else {
+		s.tel.Inc(owner, telemetry.CtrSigTrueNeg)
+	}
+}
 
 // CST returns core's conflict summary tables; they are software-visible
 // registers in FlexTM.

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"flextm/internal/sim"
+)
+
+// chromeEvent is one entry in the Chrome trace_event JSON format, loadable
+// in chrome://tracing and Perfetto. Simulated cycles are written as
+// microseconds (1 cycle == 1 µs), so the viewers' time axis reads directly
+// in cycles.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the event stream as a Chrome trace_event JSON
+// document: one timeline row per core, a complete ("X") span per
+// transaction attempt named by its outcome, and instant ("i") markers for
+// conflict-management decisions. Orphan events — a Commit or Abort with no
+// open attempt on its core — are emitted as visible "orphan-*" instants
+// rather than discarded, so truncated or malformed streams are evident in
+// the viewer.
+func WriteChrome(w io.Writer, events []Event) error {
+	const pid = 1
+	var out []chromeEvent
+
+	cores := map[int]bool{}
+	type open struct {
+		start sim.Time
+	}
+	cur := map[int]*open{}
+	span := func(core int, start, end sim.Time, name string) {
+		out = append(out, chromeEvent{
+			Name: name, Cat: "txn", Phase: "X",
+			TS: float64(start), Dur: float64(end - start),
+			PID: pid, TID: core,
+		})
+	}
+	instant := func(core int, at sim.Time, name string, args map[string]any) {
+		out = append(out, chromeEvent{
+			Name: name, Cat: "cm", Phase: "i",
+			TS: float64(at), PID: pid, TID: core,
+			Scope: "t", Args: args,
+		})
+	}
+
+	var last sim.Time
+	for _, e := range events {
+		cores[e.Core] = true
+		if e.At > last {
+			last = e.At
+		}
+		switch e.Kind {
+		case Begin:
+			if o := cur[e.Core]; o != nil {
+				o.start = e.At
+			} else {
+				cur[e.Core] = &open{start: e.At}
+			}
+		case Commit:
+			if o := cur[e.Core]; o != nil {
+				span(e.Core, o.start, e.At, "commit")
+				delete(cur, e.Core)
+			} else {
+				instant(e.Core, e.At, "orphan-commit", nil)
+			}
+		case Abort:
+			if o := cur[e.Core]; o != nil {
+				span(e.Core, o.start, e.At, "abort")
+				// Keep the entry: a following Begin on this core is the
+				// retry of the same transaction.
+				o.start = e.At
+			} else {
+				instant(e.Core, e.At, "orphan-abort", nil)
+			}
+		case ConflictWait, ConflictAbortEnemy, ConflictAbortSelf:
+			name := e.Kind.String()
+			if cur[e.Core] == nil {
+				name = "orphan-" + name
+			}
+			args := map[string]any{}
+			if e.Enemy >= 0 {
+				args["enemy"] = e.Enemy
+			}
+			instant(e.Core, e.At, name, args)
+		default:
+			instant(e.Core, e.At, "orphan-"+e.Kind.String(), nil)
+		}
+	}
+	// Attempts still open at the end of the stream: draw them to the last
+	// timestamp so they are visible (and visibly unterminated).
+	for core, o := range cur {
+		if last > o.start {
+			span(core, o.start, last, "unfinished")
+		}
+	}
+
+	// Name the rows so viewers show "core N" instead of bare tids.
+	var ids []int
+	for c := range cores {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: c,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", c)},
+		})
+	}
+
+	// Stable order for diffs and tests: metadata aside, sort by timestamp.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeDoc mirrors the trace_event JSON for decoding in tests.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name  string         `json:"name"`
+		Phase string         `json:"ph"`
+		TS    float64        `json:"ts"`
+		Dur   float64        `json:"dur"`
+		TID   int            `json:"tid"`
+		Args  map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func exportChrome(t *testing.T, events []Event) chromeDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// TestChromeInterleavedRetries runs a two-core interleaved retry scenario
+// through the exporter: core 0 aborts once (after losing to core 1) and
+// retries to completion while core 1 commits mid-way through core 0's
+// attempts. A third core contributes an orphan commit, which must surface
+// as a visible instant rather than vanish.
+func TestChromeInterleavedRetries(t *testing.T) {
+	events := []Event{
+		{At: 0, Core: 0, Kind: Begin},
+		{At: 5, Core: 1, Kind: Begin},
+		{At: 10, Core: 0, Kind: ConflictWait, Enemy: 1},
+		{At: 30, Core: 0, Kind: Abort},
+		{At: 40, Core: 1, Kind: Commit},
+		{At: 50, Core: 0, Kind: Begin},
+		{At: 90, Core: 0, Kind: Commit},
+		{At: 95, Core: 2, Kind: Commit}, // orphan: no Begin on core 2
+	}
+	doc := exportChrome(t, events)
+
+	type span struct {
+		tid      int
+		ts, dur  float64
+		expected string
+	}
+	wantSpans := []span{
+		{0, 0, 30, "abort"},
+		{0, 50, 40, "commit"},
+		{1, 5, 35, "commit"},
+	}
+	for _, w := range wantSpans {
+		found := false
+		for _, e := range doc.TraceEvents {
+			if e.Phase == "X" && e.TID == w.tid && e.TS == w.ts && e.Dur == w.dur && e.Name == w.expected {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing %q span tid=%d ts=%v dur=%v in %+v", w.expected, w.tid, w.ts, w.dur, doc.TraceEvents)
+		}
+	}
+
+	var sawWait, sawOrphan bool
+	names := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Phase == "i" && e.Name == "wait" && e.TID == 0:
+			sawWait = true
+			if e.Args["enemy"] != float64(1) {
+				t.Errorf("wait instant enemy = %v, want 1", e.Args["enemy"])
+			}
+		case e.Phase == "i" && e.Name == "orphan-commit" && e.TID == 2:
+			sawOrphan = true
+		case e.Phase == "M" && e.Name == "thread_name":
+			names[e.TID], _ = e.Args["name"].(string)
+		}
+	}
+	if !sawWait {
+		t.Error("conflict wait instant missing")
+	}
+	if !sawOrphan {
+		t.Error("orphan commit not surfaced in timeline")
+	}
+	for _, tid := range []int{0, 1, 2} {
+		if names[tid] == "" {
+			t.Errorf("no thread_name metadata for core %d", tid)
+		}
+	}
+}
+
+func TestChromeUnfinishedAttemptVisible(t *testing.T) {
+	events := []Event{
+		{At: 0, Core: 0, Kind: Begin},
+		{At: 100, Core: 1, Kind: Begin},
+		{At: 200, Core: 1, Kind: Commit},
+		// Core 0 never resolves: the stream was truncated mid-attempt.
+	}
+	doc := exportChrome(t, events)
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && e.TID == 0 && e.Name == "unfinished" && e.TS == 0 && e.Dur == 200 {
+			return
+		}
+	}
+	t.Fatalf("unfinished attempt not drawn: %+v", doc.TraceEvents)
+}
+
+func TestChromeEmpty(t *testing.T) {
+	doc := exportChrome(t, nil)
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty stream produced events: %+v", doc.TraceEvents)
+	}
+}

@@ -55,7 +55,8 @@ type Event struct {
 // Recorder accumulates events. It is used from simulated threads, which the
 // engine runs one at a time, so no locking is needed.
 type Recorder struct {
-	events []Event
+	events  []Event
+	dropped int
 	// Cap bounds memory for long runs; 0 means unlimited.
 	Cap int
 }
@@ -63,13 +64,19 @@ type Recorder struct {
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
-// Add appends an event (dropped silently once Cap is reached).
+// Add appends an event. Once Cap is reached further events are counted as
+// dropped (see Dropped) rather than recorded.
 func (r *Recorder) Add(e Event) {
 	if r.Cap > 0 && len(r.events) >= r.Cap {
+		r.dropped++
 		return
 	}
 	r.events = append(r.events, e)
 }
+
+// Dropped returns the number of events discarded after Cap was reached. A
+// non-zero value means summaries and timelines are truncated.
+func (r *Recorder) Dropped() int { return r.dropped }
 
 // Events returns the recorded events in order.
 func (r *Recorder) Events() []Event { return r.events }
@@ -84,11 +91,29 @@ type Summary struct {
 	// RetriesPerCommit[n] counts transactions that needed n aborts before
 	// committing.
 	RetriesPerCommit map[int]int
+	// Orphans counts Commit/Abort events that arrived with no open
+	// transaction on their core (plus any unknown kinds). They indicate a
+	// truncated or malformed stream and are excluded from the commit/abort
+	// counts and latency statistics rather than silently folded in.
+	Orphans map[Kind]int
+	// OpenAtEnd counts cores whose last transaction never resolved (the
+	// stream ended between Begin and Commit/Abort).
+	OpenAtEnd int
+	// Dropped is the recorder's post-Cap discard count at summary time.
+	Dropped int
+}
+
+// orphan records an out-of-protocol event.
+func (s *Summary) orphan(k Kind) {
+	if s.Orphans == nil {
+		s.Orphans = map[Kind]int{}
+	}
+	s.Orphans[k]++
 }
 
 // Summarize reduces the event stream per core into a Summary.
 func (r *Recorder) Summarize() Summary {
-	s := Summary{RetriesPerCommit: map[int]int{}}
+	s := Summary{RetriesPerCommit: map[int]int{}, Dropped: r.dropped}
 	type open struct {
 		start   sim.Time
 		retries int
@@ -103,26 +128,38 @@ func (r *Recorder) Summarize() Summary {
 				cur[e.Core] = &open{start: e.At}
 			}
 		case Commit:
+			o := cur[e.Core]
+			if o == nil {
+				s.orphan(Commit)
+				continue
+			}
 			s.Commits++
-			if o := cur[e.Core]; o != nil {
-				s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
-				s.RetriesPerCommit[o.retries]++
-				delete(cur, e.Core)
-			}
+			s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
+			s.RetriesPerCommit[o.retries]++
+			delete(cur, e.Core)
 		case Abort:
-			s.Aborts++
-			if o := cur[e.Core]; o != nil {
-				s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
-				o.retries++
+			o := cur[e.Core]
+			if o == nil {
+				s.orphan(Abort)
+				continue
 			}
+			s.Aborts++
+			s.AttemptCycles = append(s.AttemptCycles, e.At-o.start)
+			o.retries++
 		case ConflictWait:
 			s.Waits++
 		case ConflictAbortEnemy:
 			s.EnemyKills++
 		case ConflictAbortSelf:
 			s.SelfKills++
+		default:
+			s.orphan(e.Kind)
 		}
 	}
+	// A committed transaction always deletes its entry, so whatever remains
+	// is unfinished: mid-attempt, or aborted and awaiting a retry that the
+	// stream never saw.
+	s.OpenAtEnd = len(cur)
 	sort.Slice(s.AttemptCycles, func(i, j int) bool { return s.AttemptCycles[i] < s.AttemptCycles[j] })
 	return s
 }
@@ -140,6 +177,24 @@ func (s Summary) Percentile(p float64) sim.Time {
 func (s Summary) Print(w io.Writer) {
 	fmt.Fprintf(w, "commits %d, aborts %d (%.2f/commit)\n",
 		s.Commits, s.Aborts, float64(s.Aborts)/float64(max(s.Commits, 1)))
+	if len(s.Orphans) > 0 {
+		var kinds []int
+		for k := range s.Orphans {
+			kinds = append(kinds, int(k))
+		}
+		sort.Ints(kinds)
+		fmt.Fprintf(w, "WARNING: orphan events (no open transaction):")
+		for _, k := range kinds {
+			fmt.Fprintf(w, " %s=%d", Kind(k), s.Orphans[Kind(k)])
+		}
+		fmt.Fprintln(w)
+	}
+	if s.OpenAtEnd > 0 {
+		fmt.Fprintf(w, "WARNING: %d transactions still open at end of trace\n", s.OpenAtEnd)
+	}
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, "WARNING: %d events dropped at recorder cap; stats are truncated\n", s.Dropped)
+	}
 	fmt.Fprintf(w, "conflict handling: %d waits, %d enemy aborts, %d self aborts\n",
 		s.Waits, s.EnemyKills, s.SelfKills)
 	if len(s.AttemptCycles) > 0 {

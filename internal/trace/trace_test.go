@@ -92,3 +92,64 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestOrphanEventsReported(t *testing.T) {
+	r := NewRecorder()
+	// Commit and abort with no open transaction: a truncated stream.
+	r.Add(Event{At: 10, Core: 0, Kind: Commit})
+	r.Add(Event{At: 20, Core: 1, Kind: Abort})
+	// A real transaction on core 2, untouched by the orphans.
+	r.Add(Event{At: 30, Core: 2, Kind: Begin})
+	r.Add(Event{At: 90, Core: 2, Kind: Commit})
+	s := r.Summarize()
+	if s.Commits != 1 || s.Aborts != 0 {
+		t.Fatalf("commits=%d aborts=%d, orphans must not count", s.Commits, s.Aborts)
+	}
+	if s.Orphans[Commit] != 1 || s.Orphans[Abort] != 1 {
+		t.Fatalf("orphans = %v", s.Orphans)
+	}
+	if len(s.AttemptCycles) != 1 || s.AttemptCycles[0] != 60 {
+		t.Fatalf("attempt cycles = %v, orphan must not fold into latency", s.AttemptCycles)
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "orphan events") {
+		t.Fatalf("orphans not reported:\n%s", buf.String())
+	}
+}
+
+func TestOpenAtEndReported(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{At: 0, Core: 0, Kind: Begin})
+	r.Add(Event{At: 5, Core: 1, Kind: Begin})
+	r.Add(Event{At: 50, Core: 1, Kind: Commit})
+	s := r.Summarize()
+	if s.OpenAtEnd != 1 {
+		t.Fatalf("openAtEnd = %d, want 1", s.OpenAtEnd)
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "still open") {
+		t.Fatalf("open transactions not reported:\n%s", buf.String())
+	}
+}
+
+func TestDroppedCounted(t *testing.T) {
+	r := NewRecorder()
+	r.Cap = 3
+	for i := 0; i < 10; i++ {
+		r.Add(Event{At: uint64(i), Kind: Begin})
+	}
+	if r.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", r.Dropped())
+	}
+	s := r.Summarize()
+	if s.Dropped != 7 {
+		t.Fatalf("summary dropped = %d", s.Dropped)
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Fatalf("drops not reported:\n%s", buf.String())
+	}
+}
