@@ -3,6 +3,7 @@
 // machine counters.
 //
 //	flextm -workload RBTree -system 'FlexTM(Lazy)' -threads 8 -ops 500
+//	flextm -workload RBTree -faults 'commit-race:0.3,alert-loss:0.1' -fault-seed 7
 //	flextm -list
 package main
 
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"flextm/internal/fault"
 	"flextm/internal/harness"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -27,6 +29,8 @@ func main() {
 	traceStats := flag.Bool("tracestats", false, "print a transaction-level trace summary (FlexTM systems)")
 	metrics := flag.Bool("metrics", false, "collect per-mechanism telemetry and print counter + cycle-attribution tables")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to FILE (open in chrome://tracing or Perfetto)")
+	faults := flag.String("faults", "", "fault injection spec, e.g. 'commit-race:0.3,alert-loss:0.1' or 'all:0.05' (classes: "+faultClassList()+")")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-schedule seed; same seed + config replays the identical campaign")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -49,6 +53,15 @@ func main() {
 	if *traceStats || *traceOut != "" {
 		rec = trace.NewRecorder()
 	}
+	var faultCfg fault.Config
+	if *faults != "" {
+		var err error
+		faultCfg, err = fault.ParseSpec(*faults, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(2)
+		}
+	}
 	res, err := harness.Run(harness.RunConfig{
 		System:       harness.SystemName(*system),
 		Workload:     f,
@@ -58,6 +71,7 @@ func main() {
 		Verify:       *verify,
 		Tracer:       rec,
 		Metrics:      *metrics,
+		Faults:       faultCfg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flextm:", err)
@@ -69,6 +83,18 @@ func main() {
 		res.Commits, res.Aborts, float64(res.Aborts)/float64(max(res.Commits, 1)))
 	fmt.Printf("cycles      %d\nthroughput  %.2f txn/Mcycle\n", res.Cycles, res.Throughput)
 	fmt.Printf("conflicts   median %d, max %d (per committed txn)\n", res.MedianConflicts, res.MaxConflicts)
+	if res.Escalations > 0 || *faults != "" {
+		fmt.Printf("escalations %d (serialized-irrevocable fallback commits)\n", res.Escalations)
+	}
+	if fr := res.FaultReport; fr != nil {
+		fmt.Printf("faults      %d injected of %d rolls (seed %d)\n", fr.Total, rollTotal(*fr), *faultSeed)
+		for _, cl := range fault.Classes() {
+			name := cl.String()
+			if fr.Rolls[name] > 0 || fr.Fired[name] > 0 {
+				fmt.Printf("  %-16s %d/%d\n", name, fr.Fired[name], fr.Rolls[name])
+			}
+		}
+	}
 	if rec != nil {
 		fmt.Println("-- trace summary --")
 		rec.Summarize().Print(os.Stdout)
@@ -110,4 +136,25 @@ func max(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// faultClassList enumerates the injectable class names for -faults usage.
+func faultClassList() string {
+	s := ""
+	for i, cl := range fault.Classes() {
+		if i > 0 {
+			s += ", "
+		}
+		s += cl.String()
+	}
+	return s
+}
+
+// rollTotal sums the per-class roll counts of a fault report.
+func rollTotal(fr fault.Report) uint64 {
+	var n uint64
+	for _, v := range fr.Rolls {
+		n += v
+	}
+	return n
 }

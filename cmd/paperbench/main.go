@@ -5,6 +5,7 @@
 //	paperbench -fig 5         Figure 5a-d (eager vs lazy)
 //	paperbench -fig 5mp       Figure 5e,f (multiprogramming with Prime)
 //	paperbench -fig overflow  Section 7.3 overflow/victim-buffer ablation
+//	paperbench -fig chaos     fault-injection campaign (robustness, not in paper)
 //	paperbench -table 2       Table 2 (area estimation)
 //	paperbench -table 4       Table 4b (FlexWatcher slowdowns)
 //	paperbench -all           everything
@@ -39,7 +40,7 @@ import (
 var out io.Writer = os.Stdout
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm")
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos")
 	table := flag.String("table", "", "table to regenerate: 2, 4")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
@@ -113,6 +114,10 @@ func main() {
 	if *all || *fig == "logtm" {
 		ran = true
 		logtmComparison(sc)
+	}
+	if *all || *fig == "chaos" {
+		ran = true
+		chaosCampaign(*quick, *jsonOut, enc)
 	}
 	if *all || *table == "2" {
 		ran = true
@@ -322,6 +327,41 @@ func logtmComparison(sc harness.SweepConfig) {
 		}
 	}
 	fmt.Fprintln(out)
+}
+
+// chaosCampaign sweeps every fault class x rate x mode, asserting the
+// conservation/consistency/isolation invariants in every cell. The campaign
+// is deterministic: same spec, same fault schedule, same table. Any
+// violation makes the run exit non-zero.
+func chaosCampaign(quick, jsonOut bool, enc *json.Encoder) {
+	spec := harness.DefaultChaosSpec()
+	if quick {
+		spec.Threads = 5
+		spec.Rounds = 25
+		spec.Rates = []float64{0.10}
+	}
+	fmt.Fprintln(out, "== Chaos: fault-injection campaign (invariants under injected faults) ==")
+	res := harness.ChaosCampaign(spec)
+	fmt.Fprintf(out, "%-16s %6s %-6s %9s %8s %6s %6s %9s  %s\n",
+		"class", "rate", "mode", "commits", "aborts", "escal", "trips", "injected", "verdict")
+	for _, c := range res.Cells {
+		verdict := "ok"
+		if len(c.Violations) > 0 {
+			verdict = strings.Join(c.Violations, "; ")
+		}
+		fmt.Fprintf(out, "%-16s %6.2f %-6s %9d %8d %6d %6d %9d  %s\n",
+			c.Class, c.Rate, c.Mode, c.Commits, c.Aborts, c.Escalations,
+			c.WatchdogTrips, c.Injected, verdict)
+		if jsonOut {
+			if err := enc.Encode(c); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Fprintln(out)
+	if !res.Ok() {
+		fatal(fmt.Errorf("chaos campaign: %d invariant violations", res.Violations))
+	}
 }
 
 func table4(sc harness.SweepConfig) {

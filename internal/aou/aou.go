@@ -15,33 +15,53 @@ import "flextm/internal/memory"
 
 // Unit is the per-core alert state. The zero value is ready to use.
 type Unit struct {
-	queue []memory.LineAddr
-	marks int
+	queue   []memory.LineAddr
+	head    int // delivered prefix of queue (compacted when it drains)
+	pending map[memory.LineAddr]struct{}
+	last    memory.LineAddr
+	hasLast bool
+	marks   int
 }
 
 // Enqueue records a fired alert for line, deduplicating repeats that have
-// not yet been delivered.
+// not yet been delivered. The pending set makes this O(1); a watcher with
+// many marked lines (RTM-F, FlexWatcher) would otherwise pay a linear scan
+// per invalidation.
 func (u *Unit) Enqueue(line memory.LineAddr) {
-	for _, l := range u.queue {
-		if l == line {
-			return
-		}
+	if u.pending == nil {
+		u.pending = make(map[memory.LineAddr]struct{}, 8)
 	}
+	if _, dup := u.pending[line]; dup {
+		return
+	}
+	u.pending[line] = struct{}{}
 	u.queue = append(u.queue, line)
 }
 
 // Take delivers the oldest pending alert.
 func (u *Unit) Take() (memory.LineAddr, bool) {
-	if len(u.queue) == 0 {
+	if u.head == len(u.queue) {
 		return 0, false
 	}
-	line := u.queue[0]
-	u.queue = u.queue[1:]
+	line := u.queue[u.head]
+	u.head++
+	if u.head == len(u.queue) {
+		u.queue = u.queue[:0]
+		u.head = 0
+	}
+	delete(u.pending, line)
+	u.last, u.hasLast = line, true
 	return line, true
 }
 
+// LastDelivered returns the most recently delivered alert line, if any since
+// the last Reset. Fault injection uses it to model duplicated delivery.
+func (u *Unit) LastDelivered() (memory.LineAddr, bool) {
+	return u.last, u.hasLast
+}
+
 // Pending reports whether any alert awaits delivery.
-func (u *Unit) Pending() bool { return len(u.queue) > 0 }
+func (u *Unit) Pending() bool { return u.head < len(u.queue) }
 
 // MarkAdded notes that a line gained the A bit.
 func (u *Unit) MarkAdded() { u.marks++ }
@@ -55,5 +75,8 @@ func (u *Unit) Marks() int { return u.marks }
 // Reset clears all pending alerts and the mark count (transaction end).
 func (u *Unit) Reset() {
 	u.queue = u.queue[:0]
+	u.head = 0
+	clear(u.pending)
+	u.hasLast = false
 	u.marks = 0
 }

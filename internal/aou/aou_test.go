@@ -1,6 +1,10 @@
 package aou
 
-import "testing"
+import (
+	"testing"
+
+	"flextm/internal/memory"
+)
 
 func TestQueueOrderAndDedup(t *testing.T) {
 	var u Unit
@@ -45,5 +49,55 @@ func TestReset(t *testing.T) {
 	u.Reset()
 	if u.Pending() || u.Marks() != 0 {
 		t.Fatal("Reset left state")
+	}
+	if _, ok := u.LastDelivered(); ok {
+		t.Fatal("Reset must forget the last delivered alert")
+	}
+}
+
+// TestQueueOrderAndDedupAtScale is the regression test for the pending-set
+// rewrite of Enqueue: FIFO order and dedup semantics must hold exactly at
+// sizes where the old O(n) scan per Enqueue was quadratic, including under
+// interleaved deliveries and re-enqueues.
+func TestQueueOrderAndDedupAtScale(t *testing.T) {
+	const n = 4096
+	var u Unit
+	for round := 0; round < 2; round++ {
+		// Enqueue 0..n-1 twice: the second pass must be fully deduplicated.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < n; i++ {
+				u.Enqueue(memory.LineAddr(i))
+			}
+		}
+		// Deliver the first half, checking FIFO order.
+		for i := 0; i < n/2; i++ {
+			l, ok := u.Take()
+			if !ok || l != memory.LineAddr(i) {
+				t.Fatalf("round %d: Take %d = %v,%v", round, i, l, ok)
+			}
+			if last, ok := u.LastDelivered(); !ok || last != l {
+				t.Fatalf("round %d: LastDelivered = %v,%v after %v", round, last, ok, l)
+			}
+		}
+		// Re-enqueue delivered lines: they are fresh alerts and must queue
+		// again, in order, behind the undelivered half.
+		for i := 0; i < n/2; i++ {
+			u.Enqueue(memory.LineAddr(i))
+			u.Enqueue(memory.LineAddr(i)) // and dedup again
+		}
+		for i := n / 2; i < n; i++ {
+			if l, ok := u.Take(); !ok || l != memory.LineAddr(i) {
+				t.Fatalf("round %d: Take %d = %v,%v", round, i, l, ok)
+			}
+		}
+		for i := 0; i < n/2; i++ {
+			if l, ok := u.Take(); !ok || l != memory.LineAddr(i) {
+				t.Fatalf("round %d: re-enqueued Take %d = %v,%v", round, i, l, ok)
+			}
+		}
+		if _, ok := u.Take(); ok {
+			t.Fatalf("round %d: queue should be empty", round)
+		}
+		u.Reset()
 	}
 }

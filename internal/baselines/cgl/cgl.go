@@ -14,7 +14,7 @@ import (
 // Runtime is a coarse-grain lock "TM".
 type Runtime struct {
 	sys   *tmesi.System
-	lock  memory.Addr
+	lock  *Spinlock
 	stats []tmapi.Stats
 }
 
@@ -22,7 +22,7 @@ type Runtime struct {
 func New(sys *tmesi.System) *Runtime {
 	return &Runtime{
 		sys:   sys,
-		lock:  sys.Alloc().Alloc(memory.LineWords),
+		lock:  NewSpinlock(sys),
 		stats: make([]tmapi.Stats, sys.Config().Cores),
 	}
 }
@@ -77,41 +77,14 @@ func (th *thread) Atomic(body func(tmapi.Txn)) {
 		body(txn{th})
 		return
 	}
-	th.acquire()
+	th.rt.lock.Acquire(th.ctx, th.core, th.rnd)
 	th.depth = 1
 	defer func() {
 		th.depth = 0
-		th.release()
+		th.rt.lock.Release(th.ctx, th.core)
 		th.rt.stats[th.core].Commits++
 	}()
 	body(txn{th})
-}
-
-// acquire spins with test-and-test-and-set: a short tight spin first (the
-// common handoff case), then bounded randomized backoff so heavy contention
-// does not saturate the lock line.
-func (th *thread) acquire() {
-	sys := th.rt.sys
-	for attempt := 0; ; attempt++ {
-		if sys.Load(th.ctx, th.core, th.rt.lock).Val == 0 {
-			if _, ok := sys.CAS(th.ctx, th.core, th.rt.lock, 0, uint64(th.core)+1); ok {
-				return
-			}
-		}
-		if attempt < 4 {
-			th.ctx.Advance(4) // tight spin on the cached line
-			continue
-		}
-		shift := attempt - 4
-		if shift > 3 {
-			shift = 3
-		}
-		th.ctx.Advance(sim.Time(th.rnd.Intn(16<<uint(shift) + 1)))
-	}
-}
-
-func (th *thread) release() {
-	th.rt.sys.Store(th.ctx, th.core, th.rt.lock, 0)
 }
 
 // txn adapts lock-protected plain access to tmapi.Txn.

@@ -1,0 +1,71 @@
+package cgl
+
+import (
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmesi"
+)
+
+// Spinlock is a test-and-test-and-set lock in simulated memory. It is the
+// primitive under the CGL baseline's Atomic, and it doubles as the
+// serialized-irrevocable fallback gate for the FlexTM runtime's liveness
+// escalation path: a thread that trips its watchdog acquires the lock and
+// re-runs its transaction with no concurrent fallback holders.
+type Spinlock struct {
+	sys  *tmesi.System
+	addr memory.Addr
+}
+
+// NewSpinlock allocates a lock word (its own cache line) on sys.
+func NewSpinlock(sys *tmesi.System) *Spinlock {
+	return &Spinlock{sys: sys, addr: sys.Alloc().Alloc(memory.LineWords)}
+}
+
+// Held reports whether the lock is currently owned. It costs one (possibly
+// cached) load.
+func (l *Spinlock) Held(ctx *sim.Ctx, core int) bool {
+	return l.sys.Load(ctx, core, l.addr).Val != 0
+}
+
+// SpinWhileHeld blocks (in simulated time) until the lock is observed free.
+// It does not acquire; callers that merely need to drain behind an exclusive
+// holder (the fallback gate) use this so the un-contended path stays free of
+// CAS traffic.
+func (l *Spinlock) SpinWhileHeld(ctx *sim.Ctx, core int, rnd *sim.Rand) {
+	for attempt := 0; l.Held(ctx, core); attempt++ {
+		pause(ctx, rnd, attempt)
+	}
+}
+
+// Acquire spins with test-and-test-and-set: a short tight spin first (the
+// common handoff case), then bounded randomized backoff so heavy contention
+// does not saturate the lock line.
+func (l *Spinlock) Acquire(ctx *sim.Ctx, core int, rnd *sim.Rand) {
+	for attempt := 0; ; attempt++ {
+		if l.sys.Load(ctx, core, l.addr).Val == 0 {
+			if _, ok := l.sys.CAS(ctx, core, l.addr, 0, uint64(core)+1); ok {
+				return
+			}
+		}
+		pause(ctx, rnd, attempt)
+	}
+}
+
+// Release stores zero; only the holder may call it.
+func (l *Spinlock) Release(ctx *sim.Ctx, core int) {
+	l.sys.Store(ctx, core, l.addr, 0)
+}
+
+// pause advances simulated time between lock probes: tight for the first few
+// attempts, then randomized exponential backoff capped at a 128-cycle window.
+func pause(ctx *sim.Ctx, rnd *sim.Rand, attempt int) {
+	if attempt < 4 {
+		ctx.Advance(4) // tight spin on the cached line
+		return
+	}
+	shift := attempt - 4
+	if shift > 3 {
+		shift = 3
+	}
+	ctx.Advance(sim.Time(rnd.Intn(16<<uint(shift) + 1)))
+}

@@ -11,7 +11,11 @@
 //     interval to break abort cycles.
 package cm
 
-import "flextm/internal/sim"
+import (
+	"math/bits"
+
+	"flextm/internal/sim"
+)
 
 // Decision is the manager's verdict on one conflict.
 type Decision int
@@ -45,13 +49,43 @@ type Manager interface {
 	RetryBackoff(aborts int, r *sim.Rand) sim.Time
 }
 
+// backoffShiftCap bounds exponential window growth independently of the
+// manager's MaxExp parameter: beyond ~2^32 cycles a backoff window is
+// indistinguishable from a hang, and an adversarial (or buggy) MaxExp
+// combined with a high abort count must never shift base into overflow.
+const backoffShiftCap = 32
+
 // backoff returns a randomized exponential delay: uniform in
-// [0, base << min(n, cap)).
+// [0, base << min(n, max)]. The shift is additionally clamped so that
+// base << shift can never overflow sim.Time (or the int handed to Intn),
+// whatever base, max, and n the caller supplies.
 func backoff(base sim.Time, n, max int, r *sim.Rand) sim.Time {
+	const windowMax = sim.Time(1) << 62 // window+1 must fit a signed 64-bit int
+	if base == 0 {
+		base = 1
+	}
+	if base > windowMax {
+		base = windowMax
+	}
+	if n < 0 {
+		n = 0
+	}
 	if n > max {
 		n = max
 	}
-	window := base << uint(n)
+	shift := uint(n)
+	if shift > backoffShiftCap {
+		shift = backoffShiftCap
+	}
+	if lim := 62 - bits.Len64(uint64(base)); lim < 0 {
+		shift = 0
+	} else if shift > uint(lim) {
+		shift = uint(lim)
+	}
+	window := base << shift
+	if window > windowMax {
+		window = windowMax
+	}
 	return sim.Time(r.Intn(int(window) + 1))
 }
 

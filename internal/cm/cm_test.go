@@ -169,6 +169,64 @@ func TestBackoffCapped(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffNeverOverflows proves the satellite property: RetryBackoff
+// cannot overflow sim.Time (or panic inside Intn) at abort counts >= 64, for
+// the stock managers and for adversarially-parameterized ones. An overflowed
+// shift would either panic (negative Intn bound) or return a wrapped-around
+// "short" window that defeats backoff entirely.
+func TestRetryBackoffNeverOverflows(t *testing.T) {
+	r := sim.NewRand(13)
+	const windowMax = sim.Time(1) << 62
+	managers := []Manager{
+		NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp(),
+		// Adversarial parameters: giant bases and an absurd exponent cap.
+		&Polka{Base: 1 << 40, MaxExp: 4096},
+		&Polka{Base: 1 << 61, MaxExp: 64},
+		&Polka{Base: 1<<63 + 5, MaxExp: 128},
+		&Karma{Base: 1 << 60},
+		&Greedy{Base: 1 << 45, MaxWait: 8},
+		&Timestamp{Base: 1 << 45, Patience: 8},
+	}
+	for _, m := range managers {
+		for _, aborts := range []int{64, 65, 100, 1000, 1 << 20, 1 << 30} {
+			for i := 0; i < 32; i++ {
+				w := m.RetryBackoff(aborts, r)
+				if w > windowMax {
+					t.Fatalf("%s: backoff %d at %d aborts exceeds 2^62 (overflow wrap)",
+						m.Name(), w, aborts)
+				}
+			}
+		}
+	}
+}
+
+// TestBackoffShiftClampMonotone: beyond the shift cap the window must stop
+// growing, not wrap; a 2^30-abort streak gets the same window as 64 aborts
+// under a generous MaxExp.
+func TestBackoffShiftClampMonotone(t *testing.T) {
+	p := &Polka{Base: 2, MaxExp: 4096}
+	maxAt := func(aborts int) sim.Time {
+		r := sim.NewRand(21)
+		var mx sim.Time
+		for i := 0; i < 400; i++ {
+			if w := p.RetryBackoff(aborts, r); w > mx {
+				mx = w
+			}
+		}
+		return mx
+	}
+	cap64, capHuge := maxAt(64), maxAt(1<<30)
+	want := sim.Time(2) << backoffShiftCap
+	if cap64 > want || capHuge > want {
+		t.Fatalf("clamped windows exceed base<<cap: %d, %d > %d", cap64, capHuge, want)
+	}
+	// The capped window must still be large (no wrap-to-zero): with 400
+	// samples of a uniform [0, 2^33] draw, the max is overwhelmingly > 2^31.
+	if capHuge < 1<<31 {
+		t.Fatalf("capped window suspiciously small: %d (wrap-around?)", capHuge)
+	}
+}
+
 func TestAllManagersHandleZeroKarma(t *testing.T) {
 	r := sim.NewRand(9)
 	for _, m := range []Manager{NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp()} {

@@ -6,11 +6,144 @@ import (
 
 	"flextm/internal/cache"
 	"flextm/internal/cm"
+	"flextm/internal/fault"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 )
+
+// chaosBoard is the shared state of the conservation stress tests: a row of
+// account cells, one private slot per thread, and the runtime under test.
+type chaosBoard struct {
+	sys     *tmesi.System
+	rt      *Runtime
+	tel     *telemetry.Registry
+	base    memory.Addr
+	private memory.Addr
+	cells   int
+	initial uint64
+}
+
+func newChaosBoard(mode Mode, mgr cm.Manager, cells, threads int, initial uint64) *chaosBoard {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = threads
+	// Tiny cache: forces signature pressure, evictions, and overflow (the
+	// wide-update op's write set cannot fit, so TMI lines spill to the OT
+	// and are re-fetched through the table walk).
+	cfg.L1 = cache.Config{Sets: 4, Ways: 2, VictimSize: 2}
+	sys := tmesi.New(cfg)
+	tel := telemetry.New(threads)
+	sys.SetTelemetry(tel)
+	b := &chaosBoard{
+		sys:     sys,
+		rt:      New(sys, mode, mgr),
+		tel:     tel,
+		base:    sys.Alloc().Alloc(cells * memory.LineWords),
+		cells:   cells,
+		initial: initial,
+	}
+	for i := 0; i < cells; i++ {
+		sys.Image().WriteWord(b.cell(i), initial)
+	}
+	b.private = sys.Alloc().Alloc(threads * memory.LineWords)
+	return b
+}
+
+func (b *chaosBoard) cell(i int) memory.Addr {
+	return b.base + memory.Addr(i*memory.LineWords)
+}
+
+// worker runs one thread's mix of transfers, read-only audits, nested
+// transactions with user aborts, plain private accesses, and compute.
+// privWrites counts the plain increments so the caller can verify the
+// private slot afterwards (invariant 3).
+func (b *chaosBoard) worker(ctx *sim.Ctx, id, rounds int, r *sim.Rand, badSum *bool, privWrites *uint64) {
+	th := b.rt.Bind(ctx, id)
+	cell := b.cell
+	for n := 0; n < rounds; n++ {
+		switch r.Intn(6) {
+		case 0: // transfer
+			from, to := r.Intn(b.cells), r.Intn(b.cells)
+			amt := uint64(r.Intn(5))
+			th.Atomic(func(tx tmapi.Txn) {
+				f := tx.Load(cell(from))
+				if f < amt {
+					return
+				}
+				tx.Store(cell(from), f-amt)
+				tx.Store(cell(to), tx.Load(cell(to))+amt)
+			})
+		case 1: // read-only audit
+			var total uint64
+			th.Atomic(func(tx tmapi.Txn) {
+				total = 0
+				for i := 0; i < b.cells; i++ {
+					total += tx.Load(cell(i))
+				}
+			})
+			if total != uint64(b.cells)*b.initial {
+				*badSum = true
+			}
+		case 2: // nested transfer with occasional user abort
+			from, to := r.Intn(b.cells), r.Intn(b.cells)
+			skip := r.Intn(4) == 0
+			th.Atomic(func(tx tmapi.Txn) {
+				f := tx.Load(cell(from))
+				if f == 0 {
+					return
+				}
+				tx.Store(cell(from), f-1)
+				th.Atomic(func(inner tmapi.Txn) {
+					if skip {
+						skip = false
+						inner.Abort()
+					}
+					inner.Store(cell(to), inner.Load(cell(to))+1)
+				})
+			})
+		case 3: // plain private access (strong isolation side)
+			p := b.private + memory.Addr(id*memory.LineWords)
+			th.Store(p, th.Load(p)+1)
+			*privWrites++
+		case 4: // wide net-zero ripple: the write set overflows the tiny L1,
+			// spilling TMI lines to the overflow table; the second pass
+			// re-touches them through the OT walk path.
+			th.Atomic(func(tx tmapi.Txn) {
+				for i := 0; i < b.cells; i++ {
+					tx.Store(cell(i), tx.Load(cell(i))+1)
+				}
+				for i := 0; i < b.cells; i++ {
+					tx.Store(cell(i), tx.Load(cell(i))-1)
+				}
+			})
+		default: // compute
+			th.Work(sim.Time(r.Intn(500)))
+		}
+	}
+}
+
+// check asserts the three chaos invariants after a run.
+func (b *chaosBoard) check(t *testing.T, name string, threads int, badSum bool, privWrites []uint64) {
+	t.Helper()
+	if badSum {
+		t.Fatalf("%s: a read-only audit observed an inconsistent total", name)
+	}
+	var total uint64
+	for i := 0; i < b.cells; i++ {
+		total += b.sys.ReadWordRaw(b.cell(i))
+	}
+	if want := uint64(b.cells) * b.initial; total != want {
+		t.Fatalf("%s: total = %d, want %d", name, total, want)
+	}
+	for id := 0; id < threads; id++ {
+		p := b.private + memory.Addr(id*memory.LineWords)
+		if got := b.sys.ReadWordRaw(p); got != privWrites[id] {
+			t.Fatalf("%s: private slot %d = %d, want %d", name, id, got, privWrites[id])
+		}
+	}
+}
 
 // TestChaosConservation is a randomized stress test: threads run a mix of
 // transfer transactions, read-only sum checks, nested transactions, plain
@@ -28,87 +161,65 @@ func TestChaosConservation(t *testing.T) {
 		for mi, mgr := range managers {
 			for seed := uint64(1); seed <= 3; seed++ {
 				name := fmt.Sprintf("%v/%s/seed%d", mode, mgr.Name(), seed)
-				cfg := tmesi.DefaultConfig()
-				cfg.Cores = threads
-				cfg.L1 = cache.Config{Sets: 8, Ways: 2, VictimSize: 4}
-				sys := tmesi.New(cfg)
-				rt := New(sys, mode, mgr)
-				base := sys.Alloc().Alloc(cells * memory.LineWords)
-				cell := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
-				for i := 0; i < cells; i++ {
-					sys.Image().WriteWord(cell(i), initial)
-				}
-				private := sys.Alloc().Alloc(threads * memory.LineWords)
-
+				b := newChaosBoard(mode, mgr, cells, threads, initial)
 				e := sim.NewEngine()
 				var badSum bool
+				privWrites := make([]uint64, threads)
 				for ti := 0; ti < threads; ti++ {
 					id := ti
 					e.Spawn("chaos", 0, func(ctx *sim.Ctx) {
-						th := rt.Bind(ctx, id)
 						r := sim.NewRand(seed*1000 + uint64(mi*100+id))
-						for n := 0; n < rounds; n++ {
-							switch r.Intn(5) {
-							case 0: // transfer
-								from, to := r.Intn(cells), r.Intn(cells)
-								amt := uint64(r.Intn(5))
-								th.Atomic(func(tx tmapi.Txn) {
-									f := tx.Load(cell(from))
-									if f < amt {
-										return
-									}
-									tx.Store(cell(from), f-amt)
-									tx.Store(cell(to), tx.Load(cell(to))+amt)
-								})
-							case 1: // read-only audit
-								var total uint64
-								th.Atomic(func(tx tmapi.Txn) {
-									total = 0
-									for i := 0; i < cells; i++ {
-										total += tx.Load(cell(i))
-									}
-								})
-								if total != cells*initial {
-									badSum = true
-								}
-							case 2: // nested transfer with occasional user abort
-								from, to := r.Intn(cells), r.Intn(cells)
-								skip := r.Intn(4) == 0
-								th.Atomic(func(tx tmapi.Txn) {
-									f := tx.Load(cell(from))
-									if f == 0 {
-										return
-									}
-									tx.Store(cell(from), f-1)
-									th.Atomic(func(inner tmapi.Txn) {
-										if skip {
-											skip = false
-											inner.Abort()
-										}
-										inner.Store(cell(to), inner.Load(cell(to))+1)
-									})
-								})
-							case 3: // plain private access (strong isolation side)
-								p := private + memory.Addr(id*memory.LineWords)
-								th.Store(p, th.Load(p)+1)
-							default: // compute
-								th.Work(sim.Time(r.Intn(500)))
-							}
-						}
+						b.worker(ctx, id, rounds, r, &badSum, &privWrites[id])
 					})
 				}
 				if blocked := e.Run(); blocked != 0 {
 					t.Fatalf("%s: %d threads blocked", name, blocked)
 				}
-				if badSum {
-					t.Fatalf("%s: a read-only audit observed an inconsistent total", name)
+				b.check(t, name, threads, badSum, privWrites)
+			}
+		}
+	}
+}
+
+// TestChaosConservationUnderFaults re-runs the chaos workload with each
+// hardware fault class injected at a 10% rate (the acceptance bar), under a
+// tight liveness policy so the watchdog and escalation paths actually
+// exercise. All three invariants must survive every class: the protocol's
+// backstops (CAS-Commit status check, Bloom over-approximation, watchdog)
+// are what make each injected fault safe rather than silent corruption.
+// The Preempt class is orchestrated by campaign drivers (internal/harness),
+// not the memory system, so it is exercised there instead.
+func TestChaosConservationUnderFaults(t *testing.T) {
+	const cells, threads, rounds, initial = 10, 7, 60, 100
+	classes := []fault.Class{
+		fault.SpuriousAlert, fault.AlertLoss, fault.SigFalsePos,
+		fault.OTStall, fault.CoherenceDelay, fault.CommitRace,
+	}
+	for _, mode := range []Mode{Eager, Lazy} {
+		for _, class := range classes {
+			for seed := uint64(1); seed <= 2; seed++ {
+				name := fmt.Sprintf("%v/%s/seed%d", mode, class, seed)
+				b := newChaosBoard(mode, cm.NewPolka(), cells, threads, initial)
+				b.rt.SetLiveness(Liveness{MaxConsecAborts: 8, MaxStallCycles: 2_000_000, MaxCommitRetries: 16})
+				inj := fault.NewInjector(fault.Config{Seed: seed*977 + uint64(class)}.WithRate(class, 0.10))
+				b.sys.SetFaultInjector(inj)
+
+				e := sim.NewEngine()
+				var badSum bool
+				privWrites := make([]uint64, threads)
+				for ti := 0; ti < threads; ti++ {
+					id := ti
+					e.Spawn("chaos-fault", 0, func(ctx *sim.Ctx) {
+						r := sim.NewRand(seed*1000 + uint64(id))
+						b.worker(ctx, id, rounds, r, &badSum, &privWrites[id])
+					})
 				}
-				var total uint64
-				for i := 0; i < cells; i++ {
-					total += sys.ReadWordRaw(cell(i))
+				if blocked := e.Run(); blocked != 0 {
+					t.Fatalf("%s: %d threads blocked (liveness failure)", name, blocked)
 				}
-				if total != cells*initial {
-					t.Fatalf("%s: total = %d, want %d", name, total, cells*initial)
+				b.check(t, name, threads, badSum, privWrites)
+				if inj.Injected() == 0 {
+					t.Errorf("%s: fault class never fired; the run exercised nothing", name)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"flextm/internal/baselines/cgl"
 	"flextm/internal/cm"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
@@ -73,6 +74,34 @@ func DefaultCosts() Costs {
 // Fresh TSWs per transaction make stale enemy CASes miss by construction.
 const tswSlots = 64
 
+// Liveness bounds how long one Atomic section may flounder before the
+// runtime escalates it to serialized-irrevocable mode. FlexTM's optimistic
+// path guarantees only obstruction-freedom; under pathological contention —
+// or under injected faults (spurious CST refusals, lost alerts) — a thread
+// can abort indefinitely. The watchdog converts "retry forever" into
+// "retry a bounded number of times, then take the global fallback lock and
+// finish alone". A zero field disables that particular budget.
+type Liveness struct {
+	// MaxConsecAborts escalates after this many consecutive failed attempts
+	// of a single Atomic section.
+	MaxConsecAborts int
+	// MaxStallCycles escalates once a single Atomic section has burned this
+	// many cycles (attempts, back-off, and aborts included) without
+	// committing.
+	MaxStallCycles sim.Time
+	// MaxCommitRetries bounds the Figure 3 commit loop: after this many
+	// consecutive CommitCSTFail refusals within one attempt, the attempt is
+	// converted into an abort so the watchdog above can observe it.
+	MaxCommitRetries int
+}
+
+// DefaultLiveness is permissive enough that fault-free runs of the paper's
+// workloads never escalate (contended lazy commits can legitimately refuse
+// a few dozen times), while still bounding every injected-fault storm.
+func DefaultLiveness() Liveness {
+	return Liveness{MaxConsecAborts: 64, MaxStallCycles: 10_000_000, MaxCommitRetries: 512}
+}
+
 // desc is a transaction descriptor (Table 1). Policy-relevant fields are
 // mirrored in Go for speed; the TSW itself lives in simulated memory.
 type desc struct {
@@ -97,6 +126,20 @@ type Runtime struct {
 	current  []*desc
 	stats    []tmapi.Stats
 	ageClock uint64
+
+	// live bounds per-Atomic floundering; fallback is the global
+	// serialized-irrevocable lock an escalated thread runs under. It is
+	// allocated on first escalation so fault-free runs keep the exact
+	// memory layout (and therefore cycle-exact behavior) of a runtime
+	// without the escalation path. escActive counts threads currently
+	// holding (or releasing) the lock; the fallback gate consults this
+	// Go-side flag first — modeling the lock line resident shared in every
+	// cache — so the un-escalated fast path costs nothing in simulated
+	// time. The sim runs one goroutine at a time, so the counter is
+	// deterministic and race-free.
+	live      Liveness
+	fallback  *cgl.Spinlock
+	escActive int
 
 	// OnAbortYield, if set, runs in the aborted thread before its retry
 	// back-off; the multiprogramming experiment (Figure 5e,f) uses it to
@@ -129,6 +172,7 @@ func New(sys *tmesi.System, mode Mode, mgr cm.Manager) *Runtime {
 		arenaIdx:  make([]int, cores),
 		current:   make([]*desc, cores),
 		stats:     make([]tmapi.Stats, cores),
+		live:      DefaultLiveness(),
 		tel:       sys.Telemetry(),
 	}
 	rt.tswTable = sys.Alloc().Alloc(cores * memory.LineWords)
@@ -166,6 +210,13 @@ func (rt *Runtime) SetCosts(c Costs) { rt.costs = c }
 // scrubs its bit from the W-R register of everyone in its R-W).
 func (rt *Runtime) SetCleanWR(on bool) { rt.cleanWR = on }
 
+// SetLiveness overrides the watchdog budgets. Zero fields disable the
+// corresponding budget.
+func (rt *Runtime) SetLiveness(l Liveness) { rt.live = l }
+
+// Liveness returns the current watchdog budgets.
+func (rt *Runtime) Liveness() Liveness { return rt.live }
+
 // SetSigScreen toggles the commit-time signature screen: before aborting an
 // enemy processor, verify its current (software-visible) signatures still
 // intersect our write set; a provably-disjoint enemy is a successor of the
@@ -195,6 +246,7 @@ func (rt *Runtime) Stats() tmapi.Stats {
 	for i := range rt.stats {
 		total.Commits += rt.stats[i].Commits
 		total.Aborts += rt.stats[i].Aborts
+		total.Escalations += rt.stats[i].Escalations
 		total.ConflictDegrees = append(total.ConflictDegrees, rt.stats[i].ConflictDegrees...)
 	}
 	return total

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"flextm/internal/baselines/cgl"
 	"flextm/internal/cm"
 	"flextm/internal/cst"
 	"flextm/internal/memory"
@@ -21,6 +22,9 @@ type Thread struct {
 	d     *desc
 
 	consecAborts int
+	// inFallback marks that this thread holds the runtime's fallback lock
+	// and is finishing its section in serialized-irrevocable mode.
+	inFallback bool
 
 	// Cycle-attribution bookkeeping for the current attempt (telemetry):
 	// when the attempt started and how many of its cycles were spent
@@ -65,17 +69,28 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 		return
 	}
 	stamp := uint64(0)
+	sectionStart := th.ctx.Now()
 	for {
 		if stamp == 0 {
 			th.rt.ageClock++
 			stamp = th.rt.ageClock
 		}
+		// Fallback gate: if some thread escalated, drain behind it before
+		// (re)trying optimistically, so the irrevocable section runs alone.
+		// The un-contended check is one load of a shared line and consumes
+		// no randomness, leaving fault-free schedules untouched.
+		th.fallbackGate()
 		if th.attempt(stamp, body) {
 			th.consecAborts = 0
 			return
 		}
 		th.rt.stats[th.core].Aborts++
 		th.consecAborts++
+		if th.watchdogTripped(sectionStart) {
+			th.escalate(stamp, body)
+			th.consecAborts = 0
+			return
+		}
 		if y := th.rt.OnAbortYield; y != nil {
 			y(th)
 		}
@@ -84,6 +99,67 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 		// Retry back-off is stall-wait: the thread sits between attempts.
 		th.rt.tel.Add(th.core, telemetry.CtrCMBackoffCycles, backoff)
 		th.rt.tel.Add(th.core, telemetry.CtrCycStall, backoff)
+	}
+}
+
+// fallbackGate waits until no escalated thread holds the fallback lock.
+// With no escalation active the gate is free (no simulated traffic): the
+// lock line sits shared in every cache and the check folds into Begin.
+func (th *Thread) fallbackGate() {
+	if th.inFallback || th.rt.escActive == 0 {
+		return
+	}
+	th.rt.fallback.SpinWhileHeld(th.ctx, th.core, th.rnd)
+}
+
+// watchdogTripped evaluates the liveness budgets after a failed attempt.
+func (th *Thread) watchdogTripped(sectionStart sim.Time) bool {
+	live := th.rt.live
+	tripped := (live.MaxConsecAborts > 0 && th.consecAborts >= live.MaxConsecAborts) ||
+		(live.MaxStallCycles > 0 && th.ctx.Now()-sectionStart >= live.MaxStallCycles)
+	if tripped {
+		th.rt.tel.Inc(th.core, telemetry.CtrWatchdogTrip)
+		th.rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "watchdog",
+			What: "trip", Arg: int64(th.consecAborts)})
+	}
+	return tripped
+}
+
+// escalate finishes the section in serialized-irrevocable mode: take the
+// global fallback lock (new optimistic attempts drain at fallbackGate), shut
+// off fault injection for this core, and re-run the body transactionally
+// until it commits. Running transactionally (rather than with raw stores)
+// preserves isolation against optimistic attempts still in flight when the
+// lock was acquired, and preserves Txn.Abort retry semantics; those stragglers
+// either finish or abort, so the escalated attempt loop terminates.
+func (th *Thread) escalate(stamp uint64, body func(tmapi.Txn)) {
+	rt := th.rt
+	rt.stats[th.core].Escalations++
+	rt.tel.Inc(th.core, telemetry.CtrEscalation)
+	rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "watchdog", What: "escalate"})
+	debugf("t=%d c=%d ESCALATE after %d aborts", th.ctx.Now(), th.core, th.consecAborts)
+	if rt.fallback == nil {
+		rt.fallback = cgl.NewSpinlock(rt.sys)
+	}
+	rt.fallback.Acquire(th.ctx, th.core, th.rnd)
+	rt.escActive++
+	rt.sys.SetFaultImmunity(th.core, true)
+	th.inFallback = true
+	defer func() {
+		th.inFallback = false
+		rt.sys.SetFaultImmunity(th.core, false)
+		rt.escActive--
+		rt.fallback.Release(th.ctx, th.core)
+	}()
+	for {
+		if th.attempt(stamp, body) {
+			rt.tel.Inc(th.core, telemetry.CtrEscalatedCommit)
+			return
+		}
+		rt.stats[th.core].Aborts++
+		// Brief fixed pause: the only way to get here is a straggler enemy
+		// or a user-requested retry, both of which need a little time.
+		th.ctx.Advance(rt.costs.AbortWork + 64)
 	}
 }
 
@@ -342,7 +418,7 @@ func (th *Thread) commit() {
 	rt, sys := th.rt, th.rt.sys
 	commitStart := th.ctx.Now()
 	var resolved cst.Vec
-	for {
+	for spins := 0; ; {
 		table := sys.CST(th.core)
 		wr := table.Get(cst.WR).CopyAndClear()
 		ww := table.Get(cst.WW).CopyAndClear()
@@ -406,7 +482,16 @@ func (th *Thread) commit() {
 			abortPanic()
 		case tmesi.CommitCSTFail:
 			// New conflicts arrived between lines 1-3 and the CAS-Commit:
-			// go around again (Figure 3, line 5).
+			// go around again (Figure 3, line 5). A streak of refusals —
+			// relentless enemies or injected CAS-Commit races — is bounded:
+			// past the budget the attempt converts into an abort, which the
+			// retry path (and ultimately the watchdog) can see and escalate.
+			spins++
+			if lim := rt.live.MaxCommitRetries; lim > 0 && spins >= lim {
+				rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core,
+					Mech: "watchdog", What: "commit-retry-budget", Arg: int64(spins)})
+				abortPanic()
+			}
 		}
 	}
 }

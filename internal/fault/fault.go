@@ -1,0 +1,271 @@
+// Package fault is a deterministic, seed-driven fault-injection layer for
+// the FlexTM machine model. Fault classes are drawn from the paper's own
+// risk surface: the mechanisms FlexTM decouples (signatures, CSTs, PDI,
+// AOU, overflow tables) are each allowed to misbehave in the ways real
+// hardware can — Bloom aliasing, alert loss on A-line eviction, duplicated
+// alert delivery, overflow-table walk stalls, delayed coherence responses,
+// and CAS-Commit interleaving races — while the architectural invariants
+// (conservation, isolation, consistent reads) must continue to hold.
+//
+// Determinism is the core contract: every injection decision is a pure
+// function of (seed, fault class, per-class decision index). Because the
+// sim engine resumes exactly one thread at a time in virtual-time order,
+// the sequence of decision points is itself deterministic, so the same seed
+// and configuration reproduce the identical fault schedule, abort counts,
+// and escalation decisions across runs.
+//
+// A nil *Injector is the disabled state: every method nil-checks at the
+// top, mirroring internal/telemetry, so injection sites call
+// unconditionally and pay one predictable branch when faults are off.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class identifies one fault class.
+type Class int
+
+// The fault classes, each targeting one decoupled mechanism.
+const (
+	// SpuriousAlert delivers an AOU alert that no invalidation produced:
+	// either a duplicate of the last delivered alert or an alert on an
+	// unrelated line. Software must re-examine its status word and carry on.
+	SpuriousAlert Class = iota
+	// AlertLoss drops the alert that an A-marked line's eviction or
+	// invalidation should have delivered. The runtime must recover through
+	// the CAS-Commit backstop (the TSW check at commit).
+	AlertLoss
+	// SigFalsePos forces a responder's write signature to report membership
+	// for a line it never inserted — inflated Bloom aliasing, producing
+	// spurious Threatened responses, CST bits, and strong-isolation aborts.
+	SigFalsePos
+	// OTStall adds controller occupancy to an overflow-table walk.
+	OTStall
+	// CoherenceDelay delays the response of a coherence forwarding round.
+	CoherenceDelay
+	// CommitRace makes a CAS-Commit fail with CommitCSTFail as if a
+	// conflicting response had arrived between the CST read and the commit
+	// point, re-running the software commit loop.
+	CommitRace
+	// Preempt drives an OS preemption storm: suspend/resume of running
+	// threads at pseudo-random virtual-time points. The machine model does
+	// not roll this class itself; campaign drivers (harness.ChaosCampaign)
+	// consult it to schedule deschedules.
+	Preempt
+
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	SpuriousAlert:  "spurious-alert",
+	AlertLoss:      "alert-loss",
+	SigFalsePos:    "sig-fp",
+	OTStall:        "ot-stall",
+	CoherenceDelay: "coherence-delay",
+	CommitRace:     "commit-race",
+	Preempt:        "preempt",
+}
+
+// String returns the class's stable kebab-case name.
+func (c Class) String() string {
+	if c >= 0 && c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// ParseClass resolves a class name produced by Class.String.
+func ParseClass(s string) (Class, error) {
+	for c := Class(0); c < NumClasses; c++ {
+		if classNames[c] == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown class %q (want one of %s)", s, strings.Join(classNames[:], ", "))
+}
+
+// Classes returns every fault class in declaration order.
+func Classes() []Class {
+	out := make([]Class, NumClasses)
+	for c := range out {
+		out[c] = Class(c)
+	}
+	return out
+}
+
+// Config fixes a fault campaign cell: the seed and the per-class injection
+// rates (probability per decision point, in [0,1]). The zero value means
+// "no faults".
+type Config struct {
+	Seed  uint64
+	Rates [NumClasses]float64
+}
+
+// Any reports whether any class has a non-zero rate.
+func (c Config) Any() bool {
+	for _, r := range c.Rates {
+		if r > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// WithRate returns a copy of c with class cl's rate set to r.
+func (c Config) WithRate(cl Class, r float64) Config {
+	c.Rates[cl] = r
+	return c
+}
+
+// ParseSpec parses a command-line fault specification of the form
+// "class:rate[,class:rate...]"; the pseudo-class "all" sets every class.
+// Example: "sig-fp:0.1,alert-loss:0.05".
+func ParseSpec(spec string, seed uint64) (Config, error) {
+	cfg := Config{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, rateStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return cfg, fmt.Errorf("fault: bad spec element %q (want class:rate)", part)
+		}
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return cfg, fmt.Errorf("fault: bad rate %q in %q (want a probability in [0,1])", rateStr, part)
+		}
+		if name == "all" {
+			for c := range cfg.Rates {
+				cfg.Rates[c] = rate
+			}
+			continue
+		}
+		c, err := ParseClass(name)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Rates[c] = rate
+	}
+	return cfg, nil
+}
+
+// Injector rolls injection decisions. It is owned by the single-threaded
+// simulation and needs no locking. A nil *Injector is valid and disabled.
+type Injector struct {
+	cfg    Config
+	seq    [NumClasses]uint64 // decision index per class (drives the hash)
+	amtSeq [NumClasses]uint64 // separate stream for injected magnitudes
+	rolls  [NumClasses]uint64
+	fired  [NumClasses]uint64
+	immune map[int]bool // cores exempted (serialized fallback path)
+}
+
+// NewInjector returns an injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, immune: make(map[int]bool)}
+}
+
+// Enabled reports whether class c can ever fire.
+func (i *Injector) Enabled(c Class) bool {
+	return i != nil && i.cfg.Rates[c] > 0
+}
+
+// mix is splitmix64: a bijective avalanche over the decision coordinates.
+func mix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Fire rolls one injection decision for class c at a site affecting core
+// (pass core < 0 when no single core is affected). The outcome depends only
+// on the seed, the class, and the class's decision index.
+func (i *Injector) Fire(core int, c Class) bool {
+	if i == nil || i.cfg.Rates[c] <= 0 {
+		return false
+	}
+	if core >= 0 && i.immune[core] {
+		return false
+	}
+	i.rolls[c]++
+	n := i.seq[c]
+	i.seq[c]++
+	h := mix(i.cfg.Seed ^ mix(uint64(c)+1)<<1 ^ n*0x9E3779B97F4A7C15)
+	if float64(h>>11)/(1<<53) < i.cfg.Rates[c] {
+		i.fired[c]++
+		return true
+	}
+	return false
+}
+
+// Amount returns a deterministic injected magnitude in [1, max] for class c
+// (extra stall cycles, hold times). max <= 1 returns 1.
+func (i *Injector) Amount(c Class, max uint64) uint64 {
+	if i == nil || max <= 1 {
+		return 1
+	}
+	n := i.amtSeq[c]
+	i.amtSeq[c]++
+	h := mix(i.cfg.Seed ^ 0xA5A5A5A5A5A5A5A5 ^ mix(uint64(c)+17)*0x2545F4914F6CDD1D ^ n)
+	return 1 + h%max
+}
+
+// SetImmune exempts (or re-exposes) core from all injection whose site names
+// it. The serialized fallback path uses this: software that has escalated to
+// the defensive slow path is modeled as running on de-rated, fault-free
+// hardware so forward progress is guaranteed even at injection rate 1.
+func (i *Injector) SetImmune(core int, on bool) {
+	if i == nil {
+		return
+	}
+	if on {
+		i.immune[core] = true
+	} else {
+		delete(i.immune, core)
+	}
+}
+
+// Report is a frozen summary of injector activity.
+type Report struct {
+	// Rolls and Fired count decision points and injections per class name,
+	// for classes with a non-zero rate.
+	Rolls map[string]uint64 `json:"rolls,omitempty"`
+	Fired map[string]uint64 `json:"fired,omitempty"`
+	// Total is the total number of injected faults across classes.
+	Total uint64 `json:"total"`
+}
+
+// Report returns the injector's activity summary (zero Report when nil).
+func (i *Injector) Report() Report {
+	rep := Report{}
+	if i == nil {
+		return rep
+	}
+	rep.Rolls = map[string]uint64{}
+	rep.Fired = map[string]uint64{}
+	for c := Class(0); c < NumClasses; c++ {
+		if i.cfg.Rates[c] <= 0 {
+			continue
+		}
+		rep.Rolls[c.String()] = i.rolls[c]
+		rep.Fired[c.String()] = i.fired[c]
+		rep.Total += i.fired[c]
+	}
+	return rep
+}
+
+// Injected returns the total number of faults injected so far.
+func (i *Injector) Injected() uint64 {
+	if i == nil {
+		return 0
+	}
+	var t uint64
+	for c := Class(0); c < NumClasses; c++ {
+		t += i.fired[c]
+	}
+	return t
+}

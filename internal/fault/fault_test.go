@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNilInjectorIsDisabled: a nil *Injector must be safe and inert at every
+// entry point, like a nil telemetry.Registry.
+func TestNilInjectorIsDisabled(t *testing.T) {
+	var inj *Injector
+	for c := Class(0); c < NumClasses; c++ {
+		if inj.Fire(0, c) {
+			t.Fatalf("nil injector fired %v", c)
+		}
+		if inj.Enabled(c) {
+			t.Fatalf("nil injector claims %v enabled", c)
+		}
+	}
+	if got := inj.Amount(OTStall, 100); got != 1 {
+		t.Fatalf("nil Amount = %d, want 1", got)
+	}
+	inj.SetImmune(3, true)
+	if rep := inj.Report(); rep.Total != 0 {
+		t.Fatalf("nil Report total = %d", rep.Total)
+	}
+	if inj.Injected() != 0 {
+		t.Fatalf("nil Injected != 0")
+	}
+}
+
+// TestDeterminism: two injectors with the same config must produce the
+// identical decision and magnitude sequences.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42}
+	for c := range cfg.Rates {
+		cfg.Rates[c] = 0.25
+	}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 5000; i++ {
+		c := Class(i % int(NumClasses))
+		if a.Fire(i%4, c) != b.Fire(i%4, c) {
+			t.Fatalf("decision %d diverged", i)
+		}
+		if a.Amount(c, 100) != b.Amount(c, 100) {
+			t.Fatalf("amount %d diverged", i)
+		}
+	}
+	ra, rb := a.Report(), b.Report()
+	if ra.Total != rb.Total {
+		t.Fatalf("totals diverged: %d vs %d", ra.Total, rb.Total)
+	}
+	if ra.Total == 0 {
+		t.Fatalf("no faults fired at rate 0.25 over 5000 rolls")
+	}
+}
+
+// TestSeedChangesSchedule: different seeds must produce different schedules
+// (with overwhelming probability at these sizes).
+func TestSeedChangesSchedule(t *testing.T) {
+	mk := func(seed uint64) []bool {
+		inj := NewInjector(Config{Seed: seed}.WithRate(SigFalsePos, 0.3))
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = inj.Fire(0, SigFalsePos)
+		}
+		return out
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("seeds 1 and 2 produced identical 2000-roll schedules")
+	}
+}
+
+// TestRateAccuracy: the empirical injection rate should approximate the
+// configured rate.
+func TestRateAccuracy(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.5} {
+		inj := NewInjector(Config{Seed: 7}.WithRate(CommitRace, rate))
+		const n = 50000
+		fired := 0
+		for i := 0; i < n; i++ {
+			if inj.Fire(0, CommitRace) {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		if math.Abs(got-rate) > rate*0.2+0.002 {
+			t.Fatalf("rate %.3f: observed %.4f over %d rolls", rate, got, n)
+		}
+	}
+}
+
+// TestImmunity: an immune core never receives an injection, and immunity is
+// reversible; core -1 (no single core) ignores immunity.
+func TestImmunity(t *testing.T) {
+	inj := NewInjector(Config{Seed: 3}.WithRate(AlertLoss, 1.0))
+	inj.SetImmune(2, true)
+	for i := 0; i < 100; i++ {
+		if inj.Fire(2, AlertLoss) {
+			t.Fatalf("immune core received an injection")
+		}
+	}
+	if !inj.Fire(1, AlertLoss) {
+		t.Fatalf("non-immune core missed a rate-1 injection")
+	}
+	if !inj.Fire(-1, AlertLoss) {
+		t.Fatalf("core -1 must ignore immunity")
+	}
+	inj.SetImmune(2, false)
+	if !inj.Fire(2, AlertLoss) {
+		t.Fatalf("re-exposed core missed a rate-1 injection")
+	}
+}
+
+// TestAmountBounds: Amount stays in [1, max].
+func TestAmountBounds(t *testing.T) {
+	inj := NewInjector(Config{Seed: 11}.WithRate(OTStall, 1))
+	for i := 0; i < 1000; i++ {
+		v := inj.Amount(OTStall, 160)
+		if v < 1 || v > 160 {
+			t.Fatalf("Amount out of range: %d", v)
+		}
+	}
+}
+
+// TestParseSpec covers the spec grammar, including "all" and errors.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("sig-fp:0.1,alert-loss:0.05", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.Rates[SigFalsePos] != 0.1 || cfg.Rates[AlertLoss] != 0.05 {
+		t.Fatalf("bad parse: %+v", cfg)
+	}
+	if cfg.Rates[CommitRace] != 0 {
+		t.Fatalf("unset class has a rate")
+	}
+
+	cfg, err = ParseSpec("all:0.2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if cfg.Rates[c] != 0.2 {
+			t.Fatalf("all: class %v rate %v", c, cfg.Rates[c])
+		}
+	}
+	if !cfg.Any() {
+		t.Fatalf("Any() false after all:0.2")
+	}
+
+	if cfg, err := ParseSpec("", 1); err != nil || cfg.Any() {
+		t.Fatalf("empty spec: %v %v", cfg, err)
+	}
+	for _, bad := range []string{"nope:0.1", "sig-fp", "sig-fp:2", "sig-fp:-1", "sig-fp:x"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Fatalf("spec %q did not error", bad)
+		}
+	}
+}
+
+// TestClassRoundTrip: String/ParseClass are inverses.
+func TestClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: %v %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("bogus"); err == nil {
+		t.Fatalf("ParseClass(bogus) did not error")
+	}
+}

@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"fmt"
+
+	"flextm/internal/cache"
+	"flextm/internal/cm"
+	"flextm/internal/core"
+	"flextm/internal/fault"
+	"flextm/internal/memory"
+	"flextm/internal/osmodel"
+	"flextm/internal/sim"
+	"flextm/internal/telemetry"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// ChaosSpec parameterizes a fault-injection campaign: each (class, rate,
+// mode) cell runs the conservation workload on a tiny machine with that
+// fault class injected, under a tight liveness policy, and checks the
+// chaos invariants. The whole campaign is a pure function of the spec:
+// identical specs produce bit-identical ChaosResults.
+type ChaosSpec struct {
+	Classes []fault.Class
+	Rates   []float64
+	Modes   []core.Mode
+	// Threads is both the software thread count and the core count.
+	Threads int
+	// Accounts is the number of shared cells; Initial their starting value.
+	Accounts int
+	Initial  uint64
+	// Rounds is the per-thread operation count.
+	Rounds int
+	Seed   uint64
+	// Liveness is the watchdog policy under test (tight enough that fault
+	// storms actually trip it).
+	Liveness core.Liveness
+	// Quantum is the preemption-storm tick: every Quantum cycles the storm
+	// driver rolls the Preempt class and, on a hit, suspends a victim core
+	// for an injector-chosen hold time.
+	Quantum sim.Time
+}
+
+// DefaultChaosSpec covers every fault class at a low and at the acceptance
+// (10%) rate, in both conflict-management modes.
+func DefaultChaosSpec() ChaosSpec {
+	return ChaosSpec{
+		Classes:  fault.Classes(),
+		Rates:    []float64{0.02, 0.10},
+		Modes:    []core.Mode{core.Eager, core.Lazy},
+		Threads:  7,
+		Accounts: 10,
+		Initial:  100,
+		Rounds:   40,
+		Seed:     1,
+		Liveness: core.Liveness{MaxConsecAborts: 8, MaxStallCycles: 2_000_000, MaxCommitRetries: 16},
+		Quantum:  3000,
+	}
+}
+
+// ChaosCell is the outcome of one (class, rate, mode) run.
+type ChaosCell struct {
+	Class string  `json:"class"`
+	Rate  float64 `json:"rate"`
+	Mode  string  `json:"mode"`
+
+	Commits       uint64 `json:"commits"`
+	Aborts        uint64 `json:"aborts"`
+	Escalations   uint64 `json:"escalations"`
+	WatchdogTrips uint64 `json:"watchdog_trips"`
+	Injected      uint64 `json:"faults_injected"`
+
+	Cycles sim.Time `json:"cycles"`
+	// Violations lists every invariant the cell broke; empty means the
+	// protocol's backstops held.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// ChaosResult is a whole campaign.
+type ChaosResult struct {
+	Cells      []ChaosCell `json:"cells"`
+	Violations int         `json:"violations"`
+}
+
+// Ok reports whether every cell held every invariant.
+func (r ChaosResult) Ok() bool { return r.Violations == 0 }
+
+// ChaosCampaign runs the full sweep.
+func ChaosCampaign(spec ChaosSpec) ChaosResult {
+	var res ChaosResult
+	for _, class := range spec.Classes {
+		for _, rate := range spec.Rates {
+			for _, mode := range spec.Modes {
+				cell := runChaosCell(spec, class, rate, mode)
+				res.Violations += len(cell.Violations)
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// runChaosCell executes one cell of the campaign.
+func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mode) ChaosCell {
+	cell := ChaosCell{Class: class.String(), Rate: rate, Mode: mode.String()}
+	fail := func(format string, args ...interface{}) {
+		cell.Violations = append(cell.Violations, fmt.Sprintf(format, args...))
+	}
+
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = spec.Threads
+	// Tiny L1: forces evictions, alert-line pressure, and OT walks, so
+	// every injection site sees traffic.
+	cfg.L1 = cache.Config{Sets: 4, Ways: 2, VictimSize: 2}
+	sys := tmesi.New(cfg)
+	tel := telemetry.New(spec.Threads)
+	sys.SetTelemetry(tel)
+	rt := core.New(sys, mode, cm.NewPolka())
+	rt.SetLiveness(spec.Liveness)
+	// Mix the class into the seed so cells draw independent schedules even
+	// for the same spec seed.
+	inj := fault.NewInjector(fault.Config{Seed: spec.Seed*0x9E37 + uint64(class) + 1}.WithRate(class, rate))
+	sys.SetFaultInjector(inj)
+
+	cells := spec.Accounts
+	base := sys.Alloc().Alloc(cells * memory.LineWords)
+	cellAddr := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
+	for i := 0; i < cells; i++ {
+		sys.Image().WriteWord(cellAddr(i), spec.Initial)
+	}
+	private := sys.Alloc().Alloc(spec.Threads * memory.LineWords)
+
+	e := sim.NewEngine()
+	var badSum bool
+	privWrites := make([]uint64, spec.Threads)
+	done := make([]bool, spec.Threads)
+	doneCount := 0
+	workerCtx := make([]*sim.Ctx, spec.Threads)
+	for ti := 0; ti < spec.Threads; ti++ {
+		id := ti
+		workerCtx[id] = e.Spawn(fmt.Sprintf("chaos-%d", id), 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, id)
+			r := sim.NewRand(spec.Seed*1000 + uint64(id))
+			for n := 0; n < spec.Rounds; n++ {
+				chaosOp(th, r, cells, spec.Initial, cellAddr,
+					private+memory.Addr(id*memory.LineWords), &badSum, &privWrites[id])
+			}
+			done[id] = true
+			doneCount++
+		})
+	}
+	if class == fault.Preempt {
+		spawnPreemptStorm(e, sys, rt, inj, spec, workerCtx, done, &doneCount)
+	}
+
+	if blocked := e.Run(); blocked != 0 {
+		fail("%d threads blocked: liveness budget exceeded without escalation", blocked)
+	}
+
+	// Invariant 1: conservation of the shared total.
+	var total uint64
+	for i := 0; i < cells; i++ {
+		total += sys.ReadWordRaw(cellAddr(i))
+	}
+	if want := uint64(cells) * spec.Initial; total != want {
+		fail("conservation: total = %d, want %d", total, want)
+	}
+	// Invariant 2: every committed read-only audit saw a consistent sum.
+	if badSum {
+		fail("consistency: a committed read-only audit observed a wrong total")
+	}
+	// Invariant 3: private slots hold exactly their owner's last write.
+	for id := 0; id < spec.Threads; id++ {
+		p := private + memory.Addr(id*memory.LineWords)
+		if got := sys.ReadWordRaw(p); got != privWrites[id] {
+			fail("isolation: private slot %d = %d, want %d", id, got, privWrites[id])
+		}
+	}
+
+	st := rt.Stats()
+	snap := tel.Snapshot()
+	cell.Commits = st.Commits
+	cell.Aborts = st.Aborts
+	cell.Escalations = st.Escalations
+	cell.WatchdogTrips = snap.Total(telemetry.CtrWatchdogTrip)
+	cell.Injected = inj.Injected()
+	cell.Cycles = e.MaxTime()
+	return cell
+}
+
+// chaosOp performs one operation of the conservation workload: transfers,
+// read-only audits, nested transfers with user aborts, plain private
+// accesses, wide net-zero updates that overflow the L1, and compute.
+func chaosOp(th tmapi.Thread, r *sim.Rand, cells int, initial uint64,
+	cellAddr func(int) memory.Addr, priv memory.Addr, badSum *bool, privWrites *uint64) {
+	switch r.Intn(6) {
+	case 0: // transfer
+		from, to := r.Intn(cells), r.Intn(cells)
+		amt := uint64(r.Intn(5))
+		th.Atomic(func(tx tmapi.Txn) {
+			f := tx.Load(cellAddr(from))
+			if f < amt {
+				return
+			}
+			tx.Store(cellAddr(from), f-amt)
+			tx.Store(cellAddr(to), tx.Load(cellAddr(to))+amt)
+		})
+	case 1: // read-only audit
+		var total uint64
+		th.Atomic(func(tx tmapi.Txn) {
+			total = 0
+			for i := 0; i < cells; i++ {
+				total += tx.Load(cellAddr(i))
+			}
+		})
+		if total != uint64(cells)*initial {
+			*badSum = true
+		}
+	case 2: // nested transfer with occasional user abort
+		from, to := r.Intn(cells), r.Intn(cells)
+		skip := r.Intn(4) == 0
+		th.Atomic(func(tx tmapi.Txn) {
+			f := tx.Load(cellAddr(from))
+			if f == 0 {
+				return
+			}
+			tx.Store(cellAddr(from), f-1)
+			th.Atomic(func(inner tmapi.Txn) {
+				if skip {
+					skip = false
+					inner.Abort()
+				}
+				inner.Store(cellAddr(to), inner.Load(cellAddr(to))+1)
+			})
+		})
+	case 3: // plain private access (strong isolation side)
+		th.Store(priv, th.Load(priv)+1)
+		*privWrites++
+	case 4: // wide net-zero ripple: overflows the tiny L1 into the OT
+		th.Atomic(func(tx tmapi.Txn) {
+			for i := 0; i < cells; i++ {
+				tx.Store(cellAddr(i), tx.Load(cellAddr(i))+1)
+			}
+			for i := 0; i < cells; i++ {
+				tx.Store(cellAddr(i), tx.Load(cellAddr(i))-1)
+			}
+		})
+	default: // compute
+		th.Work(sim.Time(r.Intn(500)))
+	}
+}
+
+// spawnPreemptStorm adds the Preempt-class driver: every Quantum cycles it
+// rolls the injector and, on a hit, context-switches a victim core out
+// (saving and summarizing its transactional state via the OS model) for an
+// injector-chosen hold time, then resumes it. Transactions must survive the
+// storm: suspended-transaction conflicts are caught by the summary
+// signatures and arbitration of Section 5.
+func spawnPreemptStorm(e *sim.Engine, sys *tmesi.System, rt *core.Runtime,
+	inj *fault.Injector, spec ChaosSpec, workerCtx []*sim.Ctx, done []bool, doneCount *int) {
+	m := osmodel.New(sys, rt)
+	e.Spawn("preempt-storm", 0, func(ctx *sim.Ctx) {
+		for *doneCount < spec.Threads {
+			ctx.Advance(spec.Quantum)
+			ctx.Sync()
+			if !inj.Fire(-1, fault.Preempt) {
+				continue
+			}
+			victim := int(inj.Amount(fault.Preempt, uint64(spec.Threads))) - 1
+			if done[victim] {
+				continue
+			}
+			var susp *osmodel.Suspended
+			parked := false
+			e.RequestPark(workerCtx[victim], func(v *sim.Ctx) {
+				susp = m.Suspend(v, victim)
+				parked = true
+			})
+			// Wait in virtual time for the victim to actually park; it may
+			// finish its run instead, which is just as good.
+			for !parked && !done[victim] {
+				ctx.Advance(50)
+				ctx.Sync()
+			}
+			if !parked {
+				continue
+			}
+			hold := sim.Time(inj.Amount(fault.Preempt, 4*uint64(spec.Quantum)))
+			ctx.Advance(hold)
+			ctx.Sync()
+			if susp != nil { // nil when the victim had no live transaction
+				m.Resume(ctx, victim, susp)
+			}
+			e.Unblock(workerCtx[victim], ctx.Now())
+		}
+	})
+}

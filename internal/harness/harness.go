@@ -15,6 +15,7 @@ import (
 	"flextm/internal/baselines/tl2"
 	"flextm/internal/cm"
 	"flextm/internal/core"
+	"flextm/internal/fault"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
@@ -90,6 +91,14 @@ type RunConfig struct {
 	// aborts, before retrying (the multiprogramming experiment's
 	// user-level yield).
 	YieldTo func(th tmapi.Thread)
+	// Faults, when any rate is non-zero, attaches a deterministic fault
+	// injector to the machine. The schedule is a pure function of
+	// (Faults.Seed, class, per-class sequence index), so identical configs
+	// replay identical fault campaigns.
+	Faults fault.Config
+	// Liveness, if non-nil, overrides the FlexTM watchdog budgets (other
+	// runtimes ignore it).
+	Liveness *core.Liveness
 }
 
 // DefaultOps is the per-thread operation count used by the paper-replica
@@ -125,6 +134,13 @@ type Result struct {
 	// Telemetry is the run's per-mechanism counter snapshot; nil unless
 	// RunConfig.Metrics was set.
 	Telemetry *telemetry.Snapshot
+
+	// Escalations counts Atomic sections finished in serialized-irrevocable
+	// fallback mode (FlexTM only).
+	Escalations uint64
+	// FaultReport summarizes injected faults; nil unless RunConfig.Faults
+	// enabled any class.
+	FaultReport *fault.Report
 }
 
 // Run executes one configuration and returns its result.
@@ -147,6 +163,11 @@ func Run(rc RunConfig) (Result, error) {
 		// the signatures switch into audit mode) at construction.
 		sys.SetTelemetry(telemetry.New(rc.Machine.Cores))
 	}
+	var inj *fault.Injector
+	if rc.Faults.Any() {
+		inj = fault.NewInjector(rc.Faults)
+		sys.SetFaultInjector(inj)
+	}
 	rt, err := NewRuntime(rc.System, sys)
 	if err != nil {
 		return Result{}, err
@@ -156,6 +177,9 @@ func Run(rc RunConfig) (Result, error) {
 			fx.OnAbortYield = func(th *core.Thread) { rc.YieldTo(th) }
 		}
 		fx.Tracer = rc.Tracer
+		if rc.Liveness != nil {
+			fx.SetLiveness(*rc.Liveness)
+		}
 	}
 	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
 	w := rc.Workload.New()
@@ -197,6 +221,11 @@ func Run(rc RunConfig) (Result, error) {
 		Aborts:   st.Aborts,
 		Cycles:   e.MaxTime(),
 		Machine:  sys.Stats(),
+	}
+	res.Escalations = st.Escalations
+	if inj != nil {
+		rep := inj.Report()
+		res.FaultReport = &rep
 	}
 	// System throughput: all timed transactions over the global window in
 	// which they executed (first thread's timed start to last thread's

@@ -1,0 +1,116 @@
+package overflow
+
+import (
+	"testing"
+
+	"flextm/internal/memory"
+	"flextm/internal/signature"
+)
+
+// FuzzOverflowWalk drives a small-geometry overflow table with an arbitrary
+// op stream and cross-checks it against a plain map model. The properties
+// under test are the ones the TMESI controller depends on:
+//
+//   - Count() always equals the number of live entries,
+//   - a present line is never a false negative: MayContain is true and
+//     Lookup returns exactly the inserted data,
+//   - LookupInvalidate removes exactly the requested entry,
+//   - Drain yields each live entry exactly once and leaves the table empty
+//     with MayContain false for every address,
+//   - RetagPhysical moves an entry without changing its data.
+//
+// The address space is 32 lines over 8 sets x 2 ways, so way overflow and
+// OS expansion are constantly exercised; the 128-bit signature keeps Osig
+// false positives (which are legal) in play.
+func FuzzOverflowWalk(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x10, 0x22, 0x83, 0xc4})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x60, 0x60})
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77, 0x66, 0x55, 0x44})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tab := New(8, 2, signature.Config{Bits: 128, Banks: 2})
+		mirror := map[memory.LineAddr]memory.LineData{}
+		check := func(when string) {
+			if tab.Count() != len(mirror) {
+				t.Fatalf("%s: Count() = %d, model has %d", when, tab.Count(), len(mirror))
+			}
+			for a, want := range mirror {
+				if !tab.MayContain(a) {
+					t.Fatalf("%s: false negative: MayContain(%d) = false for a live entry", when, a)
+				}
+				got, ok := tab.Lookup(a)
+				if !ok || got != want {
+					t.Fatalf("%s: Lookup(%d) = %v,%v, want %v", when, a, got, ok, want)
+				}
+			}
+		}
+		for pc := 0; pc+1 < len(ops); pc += 2 {
+			op, arg := ops[pc]>>5, ops[pc]&0x1f
+			addr := memory.LineAddr(arg)
+			switch op {
+			case 0, 1, 2: // insert (weighted: fills drive expansion)
+				var data memory.LineData
+				data[0] = uint64(ops[pc+1])
+				data[memory.LineWords-1] = uint64(arg) ^ 0xa5
+				tab.Insert(addr, addr, data)
+				mirror[addr] = data
+			case 3: // fetch-back
+				got, ok := tab.LookupInvalidate(addr)
+				want, live := mirror[addr]
+				if ok != live {
+					t.Fatalf("LookupInvalidate(%d) = %v, model live=%v", addr, ok, live)
+				}
+				if ok && got != want {
+					t.Fatalf("LookupInvalidate(%d) data %v, want %v", addr, got, want)
+				}
+				delete(mirror, addr)
+			case 4: // remote probe (no invalidate)
+				got, ok := tab.Lookup(addr)
+				want, live := mirror[addr]
+				if ok != live || (ok && got != want) {
+					t.Fatalf("Lookup(%d) = %v,%v, model %v,%v", addr, got, ok, want, live)
+				}
+			case 5: // page remap: move entry to a different frame
+				dst := memory.LineAddr(ops[pc+1] & 0x1f)
+				moved := tab.RetagPhysical(addr, dst)
+				data, live := mirror[addr]
+				if moved != live {
+					t.Fatalf("RetagPhysical(%d,%d) = %v, model live=%v", addr, dst, moved, live)
+				}
+				if moved {
+					delete(mirror, addr)
+					mirror[dst] = data
+				}
+			case 6: // commit copy-back
+				tab.SetCommitted()
+				seen := map[memory.LineAddr]int{}
+				tab.Drain(func(phys, _ memory.LineAddr, data memory.LineData) {
+					seen[phys]++
+					if want, live := mirror[phys]; !live || data != want {
+						t.Fatalf("Drain yielded %d/%v, model %v", phys, data, want)
+					}
+				})
+				for a, n := range seen {
+					if n != 1 {
+						t.Fatalf("Drain yielded %d %d times", a, n)
+					}
+				}
+				if len(seen) != len(mirror) {
+					t.Fatalf("Drain yielded %d entries, model has %d", len(seen), len(mirror))
+				}
+				clear(mirror)
+				if tab.Committed() {
+					t.Fatal("Committed flag survives Drain")
+				}
+				for a := memory.LineAddr(0); a < 32; a++ {
+					if tab.MayContain(a) {
+						t.Fatalf("MayContain(%d) after Drain", a)
+					}
+				}
+			default: // abort
+				tab.Discard()
+				clear(mirror)
+			}
+			check("after op")
+		}
+	})
+}

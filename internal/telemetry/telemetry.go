@@ -82,6 +82,12 @@ const (
 	CtrCycAborted   // cycles of work discarded by aborts
 	CtrCycCommitOv  // cycles inside the commit routine of committed attempts
 
+	// Fault injection and liveness hardening.
+	CtrFaultInjected   // injected hardware faults that hit this core
+	CtrWatchdogTrip    // liveness watchdog trips (abort/stall budget exhausted)
+	CtrEscalation      // entries into the serialized fallback mode
+	CtrEscalatedCommit // commits completed inside the fallback
+
 	NumCounters
 )
 
@@ -124,6 +130,10 @@ var counterNames = [NumCounters]string{
 	CtrCycStall:         "cyc-stall",
 	CtrCycAborted:       "cyc-aborted",
 	CtrCycCommitOv:      "cyc-commit-overhead",
+	CtrFaultInjected:    "fault-injected",
+	CtrWatchdogTrip:     "watchdog-trip",
+	CtrEscalation:       "escalation",
+	CtrEscalatedCommit:  "escalated-commit",
 }
 
 // String returns the counter's stable snake-case name.
@@ -149,6 +159,8 @@ var groups = []struct {
 	{"alert-on-update", []Counter{CtrALoad, CtrAlert}},
 	{"contention manager", []Counter{CtrCMWait, CtrCMAbortEnemy, CtrCMAbortSelf,
 		CtrCMWaitCycles, CtrCMBackoffCycles}},
+	{"faults & liveness", []Counter{CtrFaultInjected, CtrWatchdogTrip, CtrEscalation,
+		CtrEscalatedCommit}},
 }
 
 // HistID identifies one per-core cycle histogram.

@@ -57,6 +57,10 @@ type Runtime interface {
 type Stats struct {
 	Commits uint64
 	Aborts  uint64
+	// Escalations counts Atomic sections that tripped the liveness watchdog
+	// and were finished in serialized-irrevocable fallback mode. Only
+	// runtimes with an escalation path (FlexTM) populate it.
+	Escalations uint64
 	// ConflictDegrees has one entry per committed transaction: the number
 	// of distinct processors it had to resolve conflicts with (the metric
 	// of Figure 4's table). Only FlexTM populates it.

@@ -3,6 +3,7 @@ package tmesi
 import (
 	"flextm/internal/cache"
 	"flextm/internal/cst"
+	"flextm/internal/fault"
 	"flextm/internal/memory"
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
@@ -57,6 +58,19 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 		// Unresolved W-R/W-W conflicts: hardware refuses the commit.
 		s.stats.CASCommitCSTFails++
 		s.tel.Inc(core, telemetry.CtrCommitCSTFail)
+		ctx.Advance(lat)
+		return CommitCSTFail
+	}
+	if checkCST && s.inj.Fire(core, fault.CommitRace) {
+		// Injected CAS-Commit interleaving race: a conflicting response
+		// arrives in the window between the CST read and the commit point,
+		// so the instruction refuses exactly as if the CST had been set.
+		// Software's Figure 3 loop must re-run; the runtime's commit-retry
+		// budget bounds how long an (injected) streak can spin before the
+		// attempt is converted into an abort and fed to the watchdog.
+		s.stats.CASCommitCSTFails++
+		s.tel.Inc(core, telemetry.CtrCommitCSTFail)
+		s.tel.Inc(core, telemetry.CtrFaultInjected)
 		ctx.Advance(lat)
 		return CommitCSTFail
 	}
@@ -162,7 +176,20 @@ func (s *System) AClear(core int, a memory.Addr) {
 // line. The runtime polls it at operation boundaries, which models alert
 // delivery at the next instruction edge.
 func (s *System) TakeAlert(core int) (memory.LineAddr, bool) {
-	return s.cores[core].alerts.Take()
+	c := &s.cores[core]
+	if s.inj.Fire(core, fault.SpuriousAlert) {
+		// Injected spurious delivery: either a duplicate of the last alert
+		// (hardware re-raising a trap it already delivered) or an alert on
+		// an unrelated line. Software must treat alerts as hints: re-examine
+		// the status word and re-arm, never assume one alert == one event.
+		s.tel.Inc(core, telemetry.CtrFaultInjected)
+		s.stats.Alerts++
+		if last, ok := c.alerts.LastDelivered(); ok {
+			return last, true
+		}
+		return 0, true
+	}
+	return c.alerts.Take()
 }
 
 // AlertPending reports whether core has an undelivered alert.

@@ -3,6 +3,7 @@ package tmesi
 import (
 	"flextm/internal/cache"
 	"flextm/internal/cst"
+	"flextm/internal/fault"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -296,6 +297,15 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 		rln := rc.l1.Lookup(line)
 		sigW := rc.txnActive && rc.wsig.Member(line)
 		sigR := rc.txnActive && rc.rsig.Member(line)
+		// Injected Bloom aliasing: force the responder's write signature to
+		// claim membership for a line it never inserted. Sound by the same
+		// argument as a natural false positive — signatures are allowed to
+		// over-approximate — so the protocol must absorb the spurious
+		// Threatened response, CST bits, or strong-isolation abort.
+		if rc.txnActive && !sigW && s.inj.Fire(core, fault.SigFalsePos) {
+			sigW = true
+			s.tel.Inc(r, telemetry.CtrFaultInjected)
+		}
 		if s.tel != nil && rc.txnActive {
 			// Split this round's membership tests into true conflicts and
 			// Bloom aliasing, attributed to the signature's owner.
@@ -435,6 +445,13 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 
 	if probed {
 		pr.lat += s.probeRound()
+		// Injected coherence delay: one responder's reply is late (queueing,
+		// link contention), stretching the whole parallel round since the
+		// requestor must collect every response.
+		if s.inj.Fire(core, fault.CoherenceDelay) {
+			pr.lat += sim.Time(s.inj.Amount(fault.CoherenceDelay, uint64(s.cfg.MemLat)))
+			s.tel.Inc(core, telemetry.CtrFaultInjected)
+		}
 	}
 	return pr
 }
@@ -443,10 +460,18 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 // carried the A bit. owner is rc's core index (for telemetry attribution).
 func (s *System) invalidateLine(rc *coreState, owner int, rln *cache.Line) {
 	if rln.Alert {
-		rc.alerts.Enqueue(rln.Tag)
 		rc.alerts.MarkRemoved()
-		s.stats.Alerts++
-		s.tel.Inc(owner, telemetry.CtrAlert)
+		if s.inj.Fire(owner, fault.AlertLoss) {
+			// Injected alert loss: the invalidation happens but the trap is
+			// dropped. The owner's doomed transaction keeps running until the
+			// CAS-Commit backstop (the TSW check) discards it — the paper's
+			// correctness argument does not depend on timely alert delivery.
+			s.tel.Inc(owner, telemetry.CtrFaultInjected)
+		} else {
+			rc.alerts.Enqueue(rln.Tag)
+			s.stats.Alerts++
+			s.tel.Inc(owner, telemetry.CtrAlert)
+		}
 	}
 	rln.State = cache.Invalid
 	rln.Alert = false
@@ -458,14 +483,21 @@ func (s *System) otFetch(c *coreState, core int, line memory.LineAddr) (memory.L
 	if c.ot == nil || !c.ot.MayContain(line) {
 		return memory.LineData{}, false, 0
 	}
+	walkLat := s.cfg.OTAccess
+	if s.inj.Fire(core, fault.OTStall) {
+		// Injected walk stall: the controller's table walk contends with
+		// other traffic (TLB refill, memory-controller occupancy).
+		walkLat += sim.Time(s.inj.Amount(fault.OTStall, uint64(4*s.cfg.OTAccess)))
+		s.tel.Inc(core, telemetry.CtrFaultInjected)
+	}
 	if data, ok := c.ot.LookupInvalidate(line); ok {
 		s.stats.OTFetches++
 		s.tel.Inc(core, telemetry.CtrOTWalkHit)
-		return data, true, s.cfg.OTAccess
+		return data, true, walkLat
 	}
 	// Osig false positive: the walk happened but found nothing.
 	s.tel.Inc(core, telemetry.CtrOTWalkFalse)
-	return memory.LineData{}, false, s.cfg.OTAccess
+	return memory.LineData{}, false, walkLat
 }
 
 // insertLine installs a line in core's L1, handling spills from the victim
@@ -475,11 +507,16 @@ func (s *System) insertLine(c *coreState, core int, ln cache.Line) sim.Time {
 	for _, v := range c.l1.Insert(ln) {
 		sp := v.Line
 		if sp.Alert {
-			// Conservative: losing an alert-marked line raises the alert.
-			c.alerts.Enqueue(sp.Tag)
 			c.alerts.MarkRemoved()
-			s.stats.Alerts++
-			s.tel.Inc(core, telemetry.CtrAlert)
+			if s.inj.Fire(core, fault.AlertLoss) {
+				// Injected alert loss on A-line eviction (see invalidateLine).
+				s.tel.Inc(core, telemetry.CtrFaultInjected)
+			} else {
+				// Conservative: losing an alert-marked line raises the alert.
+				c.alerts.Enqueue(sp.Tag)
+				s.stats.Alerts++
+				s.tel.Inc(core, telemetry.CtrAlert)
+			}
 		}
 		switch sp.State {
 		case cache.Modified:

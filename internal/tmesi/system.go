@@ -22,6 +22,7 @@ import (
 	"flextm/internal/aou"
 	"flextm/internal/cache"
 	"flextm/internal/cst"
+	"flextm/internal/fault"
 	"flextm/internal/memory"
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
@@ -182,6 +183,11 @@ type System struct {
 	// conflicts with core's active transaction (Section 3.5); the TM
 	// runtime uses it to abort the victim's transaction.
 	strongIsolationHook func(victim int)
+
+	// inj, when non-nil, rolls deterministic fault injections at the
+	// protocol's risk points (see internal/fault). All sites call through
+	// nil-safe methods, so a detached injector costs one branch.
+	inj *fault.Injector
 }
 
 // New returns a memory system with the given configuration over a fresh
@@ -238,6 +244,21 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 
 // Telemetry returns the attached registry (nil when telemetry is off).
 func (s *System) Telemetry() *telemetry.Registry { return s.tel }
+
+// SetFaultInjector attaches (or, with nil, detaches) a fault injector.
+// Attach before running transactions so the decision sequence — and with it
+// the injected fault schedule — is a pure function of config and seed.
+func (s *System) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
+
+// FaultInjector returns the attached injector (nil when faults are off).
+func (s *System) FaultInjector() *fault.Injector { return s.inj }
+
+// SetFaultImmunity exempts core from (or re-exposes it to) fault injection.
+// The runtime's serialized fallback path sets it: escalated execution models
+// software that has retreated to a defensive slow path, and exempting it
+// guarantees forward progress even at injection rate 1. No-op without an
+// injector.
+func (s *System) SetFaultImmunity(core int, on bool) { s.inj.SetImmune(core, on) }
 
 // classifySig records the outcome of one signature membership test against
 // the precise shadow set: a true hit, a Bloom false positive, or a true
