@@ -4,14 +4,18 @@
 //
 //	flextm -workload RBTree -system 'FlexTM(Lazy)' -threads 8 -ops 500
 //	flextm -workload RBTree -faults 'commit-race:0.3,alert-loss:0.1' -fault-seed 7
+//	flextm -workload LFUCache -threads 16 -profile
+//	flextm -workload RBTree -profile -profile-dot graph.dot -profile-json profile.json
 //	flextm -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"flextm/internal/conflictgraph"
 	"flextm/internal/fault"
 	"flextm/internal/harness"
 	"flextm/internal/tmesi"
@@ -31,8 +35,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event JSON timeline to FILE (open in chrome://tracing or Perfetto)")
 	faults := flag.String("faults", "", "fault injection spec, e.g. 'commit-race:0.3,alert-loss:0.1' or 'all:0.05' (classes: "+faultClassList()+")")
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-schedule seed; same seed + config replays the identical campaign")
+	profile := flag.Bool("profile", false, "record a flight-recorder history and print the conflict-graph contention profile")
+	profileDOT := flag.String("profile-dot", "", "write the conflict graph in Graphviz DOT form to FILE (implies -profile)")
+	profileJSON := flag.String("profile-json", "", "write the full conflict-graph report as JSON to FILE (implies -profile)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+	if *profileDOT != "" || *profileJSON != "" {
+		*profile = true
+	}
 
 	if *list {
 		for _, f := range workloads.All() {
@@ -71,6 +81,7 @@ func main() {
 		Verify:       *verify,
 		Tracer:       rec,
 		Metrics:      *metrics,
+		Flight:       *profile,
 		Faults:       faultCfg,
 	})
 	if err != nil {
@@ -116,6 +127,54 @@ func main() {
 		}
 		fmt.Printf("trace       %d events -> %s\n", len(rec.Events()), *traceOut)
 	}
+	if *profile {
+		rep := conflictgraph.Analyze(res.Flight.Snapshot(),
+			conflictgraph.Options{Cores: machine.Cores})
+		fmt.Println("-- contention profile --")
+		rep.Print(os.Stdout)
+		if *profileDOT != "" {
+			if err := writeDOT(*profileDOT, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "flextm:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("graph       -> %s\n", *profileDOT)
+		}
+		if *profileJSON != "" {
+			if err := writeReportJSON(*profileJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "flextm:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("profile     -> %s\n", *profileJSON)
+		}
+	}
+}
+
+// writeDOT dumps the conflict graph in Graphviz DOT form.
+func writeDOT(path string, rep *conflictgraph.Report) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteDOT(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// writeReportJSON dumps the full structured report.
+func writeReportJSON(path string, rep *conflictgraph.Report) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // writeChromeTrace dumps the recorded timeline in Chrome trace_event JSON.

@@ -15,6 +15,17 @@
 // digest under each data point; -json emits one JSON object per data point
 // on stdout (the human tables move to stderr); -trace-out FILE writes a
 // Chrome trace_event timeline of a dedicated traced run.
+//
+// Perf artifacts: -bench-out FILE records every data point of the selected
+// figures into a canonical BENCH_*.json artifact (schema flextm-bench/v1,
+// byte-stable because the simulator is deterministic), and
+//
+//	paperbench -compare OLD.json NEW.json
+//
+// flags regressions between two artifacts (throughput drops and abort-rate
+// growth beyond -threshold, and vanished cells), exiting non-zero when any
+// are found. CI records a quick-sweep artifact per change and compares it
+// against the checked-in baseline.
 package main
 
 import (
@@ -27,6 +38,8 @@ import (
 	"strings"
 
 	"flextm/internal/area"
+	"flextm/internal/benchfmt"
+	"flextm/internal/conflictgraph"
 	"flextm/internal/flexwatcher"
 	"flextm/internal/harness"
 	"flextm/internal/telemetry"
@@ -49,7 +62,16 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect per-mechanism telemetry; print a compact digest per data point")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per data point on stdout; tables move to stderr")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace_event timeline of a dedicated FlexTM(Lazy) RBTree run to FILE")
+	benchOut := flag.String("bench-out", "", "record every data point into a canonical BENCH_*.json perf artifact at FILE")
+	benchLabel := flag.String("bench-label", "", "free-form label stored in the -bench-out artifact")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (paperbench -compare OLD NEW); exit non-zero on regressions")
+	threshold := flag.Float64("threshold", 0.10, "relative worsening tolerated by -compare before a cell is flagged")
 	flag.Parse()
+
+	if *compare {
+		compareArtifacts(flag.Args(), *threshold)
+		return
+	}
 
 	if *jsonOut {
 		out = os.Stderr
@@ -60,6 +82,14 @@ func main() {
 		Ops:     *ops,
 		Verify:  true,
 		Metrics: *metrics || *jsonOut,
+	}
+	var bench *benchfmt.Artifact
+	if *benchOut != "" {
+		// Artifact cells carry the attribution split and pathology summary,
+		// so recording forces telemetry and the flight recorder on.
+		sc.Metrics = true
+		sc.Flight = true
+		bench = benchfmt.New(*benchLabel, 0)
 	}
 	for _, part := range strings.Split(*threadList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -74,6 +104,10 @@ func main() {
 	}
 
 	enc := json.NewEncoder(os.Stdout)
+	// currentFig names the figure whose sweep is running, so bench-artifact
+	// cells key on (figure, system, workload, threads). The sweeps run
+	// sequentially and OnResult fires synchronously, so a variable suffices.
+	currentFig := ""
 	sc.OnResult = func(res harness.Result) {
 		if *metrics && res.Telemetry != nil {
 			fmt.Fprintf(out, "  .. %s/%s@%d: %s\n",
@@ -84,35 +118,46 @@ func main() {
 				fatal(err)
 			}
 		}
+		if bench != nil {
+			bench.Ops = sc.Ops
+			bench.Add(newBenchCell(currentFig, res, sc.Machine.Cores))
+		}
 	}
 
 	ran := false
 	if *all || *fig == "4" {
 		ran = true
+		currentFig = "fig4"
 		figure4(sc)
 	}
 	if *all || *fig == "5" {
 		ran = true
+		currentFig = "fig5"
 		figure5(sc)
 	}
 	if *all || *fig == "5mp" {
 		ran = true
+		currentFig = "fig5mp"
 		figure5mp(sc)
 	}
 	if *all || *fig == "overflow" {
 		ran = true
+		currentFig = "overflow"
 		overflow(sc)
 	}
 	if *all || *fig == "sig" {
 		ran = true
+		currentFig = "sig"
 		sigAblation(sc)
 	}
 	if *all || *fig == "cm" {
 		ran = true
+		currentFig = "cm"
 		cmAblation(sc)
 	}
 	if *all || *fig == "logtm" {
 		ran = true
+		currentFig = "logtm"
 		logtmComparison(sc)
 	}
 	if *all || *fig == "chaos" {
@@ -130,11 +175,66 @@ func main() {
 	}
 	if *traceOut != "" {
 		ran = true
+		currentFig = "timeline"
 		writeTimeline(sc, *traceOut)
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if bench != nil {
+		if err := bench.WriteFile(*benchOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(out, "== bench artifact: %d cells -> %s ==\n", len(bench.Cells), *benchOut)
+	}
+}
+
+// newBenchCell converts one sweep data point into an artifact cell.
+func newBenchCell(figure string, res harness.Result, cores int) benchfmt.Cell {
+	c := benchfmt.Cell{
+		Figure:     figure,
+		System:     string(res.System),
+		Workload:   res.Workload,
+		Threads:    res.Threads,
+		Commits:    res.Commits,
+		Aborts:     res.Aborts,
+		Cycles:     uint64(res.Cycles),
+		Throughput: res.Throughput,
+	}
+	if res.Commits > 0 {
+		c.AbortRate = float64(res.Aborts) / float64(res.Commits)
+	}
+	if res.Telemetry != nil {
+		a := res.Telemetry.Attribution()
+		c.Attribution = &a
+	}
+	if res.Flight != nil {
+		rep := conflictgraph.Analyze(res.Flight.Snapshot(), conflictgraph.Options{Cores: cores})
+		if counts := rep.PathologyCounts(); len(counts) > 0 {
+			c.Pathologies = counts
+		}
+	}
+	return c
+}
+
+// compareArtifacts implements -compare OLD NEW.
+func compareArtifacts(args []string, threshold float64) {
+	if len(args) != 2 {
+		fatal(fmt.Errorf("-compare needs exactly two artifact paths, got %d", len(args)))
+	}
+	oldArt, err := benchfmt.ReadFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	newArt, err := benchfmt.ReadFile(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	res := benchfmt.Compare(oldArt, newArt, threshold)
+	res.Print(os.Stdout)
+	if !res.Ok() {
+		os.Exit(1)
 	}
 }
 
@@ -190,7 +290,7 @@ func writeTimeline(sc harness.SweepConfig, path string) {
 	res, err := harness.Run(harness.RunConfig{
 		System: harness.FlexTMLazy, Workload: f, Threads: threads,
 		OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: sc.Verify,
-		Tracer: rec, Metrics: sc.Metrics,
+		Tracer: rec, Metrics: sc.Metrics, Flight: sc.Flight,
 	})
 	if err != nil {
 		fatal(err)
@@ -313,14 +413,14 @@ func logtmComparison(sc harness.SweepConfig) {
 				res, err := harness.Run(harness.RunConfig{
 					System: sys, Workload: f, Threads: th,
 					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
-					Metrics: sc.Metrics,
+					Metrics: sc.Metrics, Flight: sc.Flight,
 				})
 				if err != nil {
 					fatal(err)
 				}
 				if sc.OnResult != nil {
-		sc.OnResult(res)
-	}
+					sc.OnResult(res)
+				}
 				fmt.Fprintf(out, "%8.2f", res.Throughput/base)
 			}
 			fmt.Fprintln(out)

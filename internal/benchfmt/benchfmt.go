@@ -1,0 +1,237 @@
+// Package benchfmt defines the canonical perf artifact (`BENCH_*.json`)
+// recorded by `paperbench -bench-out` and compared by `paperbench
+// -compare`: one cell per (figure, system, workload, threads) data point
+// with throughput, abort rate, cycle-attribution split, and the
+// conflict-graph pathology summary. Because the simulator is deterministic,
+// artifacts are byte-stable for a fixed configuration, so a checked-in
+// baseline plus a CI compare turns every future PR into a point on the
+// repo's recorded perf trajectory.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"flextm/internal/telemetry"
+)
+
+// Schema is the artifact format identifier.
+const Schema = "flextm-bench/v1"
+
+// Cell is one data point of a sweep.
+type Cell struct {
+	Figure   string `json:"figure"`
+	System   string `json:"system"`
+	Workload string `json:"workload"`
+	Threads  int    `json:"threads"`
+
+	Commits    uint64  `json:"commits"`
+	Aborts     uint64  `json:"aborts"`
+	Cycles     uint64  `json:"cycles"`
+	Throughput float64 `json:"throughput"` // txn per million cycles
+	AbortRate  float64 `json:"abortRate"`  // aborts per commit
+
+	// Attribution is the useful/stall/aborted/commit-overhead cycle split
+	// (present when the sweep ran with telemetry attached).
+	Attribution *telemetry.Attribution `json:"attribution,omitempty"`
+	// Pathologies counts detected contention pathologies by kind (present
+	// when the sweep ran with the flight recorder attached).
+	Pathologies map[string]uint64 `json:"pathologies,omitempty"`
+}
+
+// Key identifies a cell across artifacts.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s@%d", c.Figure, c.System, c.Workload, c.Threads)
+}
+
+// Artifact is one recorded sweep.
+type Artifact struct {
+	Schema string `json:"schema"`
+	// Label names the recording (PR number, CI run, ...); free-form.
+	Label string `json:"label,omitempty"`
+	// Ops is the per-thread operation count the sweep ran with.
+	Ops   int    `json:"ops,omitempty"`
+	Cells []Cell `json:"cells"`
+}
+
+// New returns an empty artifact with the current schema.
+func New(label string, ops int) *Artifact {
+	return &Artifact{Schema: Schema, Label: label, Ops: ops}
+}
+
+// Add appends a cell.
+func (a *Artifact) Add(c Cell) { a.Cells = append(a.Cells, c) }
+
+// Sort orders cells by key, making artifacts diff-stable regardless of
+// sweep order.
+func (a *Artifact) Sort() {
+	sort.Slice(a.Cells, func(i, j int) bool { return a.Cells[i].Key() < a.Cells[j].Key() })
+}
+
+// Write writes the artifact as indented JSON.
+func (a *Artifact) Write(w io.Writer) error {
+	a.Sort()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// WriteFile writes the artifact to path.
+func (a *Artifact) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses an artifact.
+func Read(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	if a.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: unknown schema %q (want %q)", a.Schema, Schema)
+	}
+	return &a, nil
+}
+
+// ReadFile parses the artifact at path.
+func ReadFile(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	a, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// Regression is one flagged cell metric.
+type Regression struct {
+	Key    string  `json:"key"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Delta is the relative change, signed so that worse is positive
+	// (throughput drop, abort-rate growth).
+	Delta float64 `json:"delta"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.3f -> %.3f (%.1f%% worse)", r.Key, r.Metric, r.Old, r.New, 100*r.Delta)
+}
+
+// CompareResult is the outcome of comparing two artifacts.
+type CompareResult struct {
+	Regressions []Regression `json:"regressions"`
+	// Improvements counts cells that got better beyond the threshold
+	// (informational).
+	Improvements int `json:"improvements"`
+	// Compared is the number of cells present in both artifacts.
+	Compared int `json:"compared"`
+	// NewCells lists keys present only in the new artifact (fine: sweeps
+	// grow); MissingCells lists keys that vanished (flagged as regressions).
+	NewCells     []string `json:"newCells,omitempty"`
+	MissingCells []string `json:"missingCells,omitempty"`
+}
+
+// Ok reports whether the comparison found no regressions.
+func (c CompareResult) Ok() bool { return len(c.Regressions) == 0 }
+
+// abortRateFloor is the absolute aborts-per-commit slack below which
+// abort-rate growth is ignored: going from 0.00 to 0.03 aborts/commit is
+// noise, not a pathology.
+const abortRateFloor = 0.05
+
+// Compare flags every cell of new that is worse than its counterpart in
+// old by more than tol (a fraction: 0.10 means 10%). A cell present in old
+// but missing from new is itself a regression — a shrunk sweep must be
+// explicit, not silent.
+func Compare(old, new *Artifact, tol float64) CompareResult {
+	var res CompareResult
+	oldByKey := map[string]Cell{}
+	for _, c := range old.Cells {
+		oldByKey[c.Key()] = c
+	}
+	newByKey := map[string]Cell{}
+	for _, c := range new.Cells {
+		newByKey[c.Key()] = c
+		if _, ok := oldByKey[c.Key()]; !ok {
+			res.NewCells = append(res.NewCells, c.Key())
+		}
+	}
+	sort.Strings(res.NewCells)
+
+	keys := make([]string, 0, len(oldByKey))
+	for k := range oldByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		oc := oldByKey[k]
+		nc, ok := newByKey[k]
+		if !ok {
+			res.MissingCells = append(res.MissingCells, k)
+			res.Regressions = append(res.Regressions, Regression{
+				Key: k, Metric: "missing-cell", Old: 1, New: 0, Delta: 1,
+			})
+			continue
+		}
+		res.Compared++
+		if oc.Throughput > 0 {
+			delta := (oc.Throughput - nc.Throughput) / oc.Throughput
+			if delta > tol {
+				res.Regressions = append(res.Regressions, Regression{
+					Key: k, Metric: "throughput", Old: oc.Throughput, New: nc.Throughput, Delta: delta,
+				})
+			} else if -delta > tol {
+				res.Improvements++
+			}
+		}
+		if nc.AbortRate > oc.AbortRate+abortRateFloor {
+			base := oc.AbortRate
+			if base < abortRateFloor {
+				base = abortRateFloor
+			}
+			delta := (nc.AbortRate - oc.AbortRate) / base
+			if delta > tol {
+				res.Regressions = append(res.Regressions, Regression{
+					Key: k, Metric: "abort-rate", Old: oc.AbortRate, New: nc.AbortRate, Delta: delta,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Print writes the comparison outcome for humans.
+func (c CompareResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "compared %d cells", c.Compared)
+	if len(c.NewCells) > 0 {
+		fmt.Fprintf(w, ", %d new", len(c.NewCells))
+	}
+	if c.Improvements > 0 {
+		fmt.Fprintf(w, ", %d improved", c.Improvements)
+	}
+	fmt.Fprintln(w)
+	if c.Ok() {
+		fmt.Fprintln(w, "no regressions")
+		return
+	}
+	fmt.Fprintf(w, "%d regression(s):\n", len(c.Regressions))
+	for _, r := range c.Regressions {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+}

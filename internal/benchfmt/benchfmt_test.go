@@ -1,0 +1,184 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleArtifact() *Artifact {
+	a := New("test", 500)
+	a.Add(Cell{
+		Figure: "fig4", System: "FlexTM(Lazy)", Workload: "RBTree", Threads: 8,
+		Commits: 4000, Aborts: 400, Cycles: 1_000_000,
+		Throughput: 4.0, AbortRate: 0.1,
+		Pathologies: map[string]uint64{"abort-cycle": 2},
+	})
+	a.Add(Cell{
+		Figure: "fig4", System: "FlexTM(Eager)", Workload: "RBTree", Threads: 8,
+		Commits: 3500, Aborts: 700, Cycles: 1_000_000,
+		Throughput: 3.5, AbortRate: 0.2,
+	})
+	a.Add(Cell{
+		Figure: "fig5", System: "CGL", Workload: "LFUCache", Threads: 4,
+		Commits: 2000, Aborts: 0, Cycles: 800_000,
+		Throughput: 2.5, AbortRate: 0,
+	})
+	return a
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := sampleArtifact()
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if b.Schema != Schema || b.Label != "test" || b.Ops != 500 {
+		t.Fatalf("header mismatch: %+v", b)
+	}
+	if !reflect.DeepEqual(a.Cells, b.Cells) {
+		t.Fatalf("cells mismatch:\nwrote %+v\nread  %+v", a.Cells, b.Cells)
+	}
+}
+
+func TestWriteIsByteStable(t *testing.T) {
+	// Two artifacts with the same cells in different insertion order must
+	// serialize identically (Write sorts by key).
+	a := sampleArtifact()
+	b := New("test", 500)
+	for i := len(a.Cells) - 1; i >= 0; i-- {
+		b.Add(a.Cells[i])
+	}
+	var wa, wb bytes.Buffer
+	if err := a.Write(&wa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if wa.String() != wb.String() {
+		t.Fatalf("serialization depends on insertion order:\n%s\nvs\n%s", wa.String(), wb.String())
+	}
+}
+
+func TestReadRejectsUnknownSchema(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"schema":"flextm-bench/v999","cells":[]}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSelfCompareIsClean(t *testing.T) {
+	a := sampleArtifact()
+	res := Compare(a, a, 0.10)
+	if !res.Ok() {
+		t.Fatalf("self-compare found regressions: %+v", res.Regressions)
+	}
+	if res.Compared != 3 || res.Improvements != 0 || len(res.NewCells) != 0 || len(res.MissingCells) != 0 {
+		t.Fatalf("self-compare result: %+v", res)
+	}
+}
+
+func TestCompareFlagsThroughputDrop(t *testing.T) {
+	old := sampleArtifact()
+	degraded := sampleArtifact()
+	degraded.Cells[0].Throughput *= 0.5 // 50% drop on the first cell
+	res := Compare(old, degraded, 0.10)
+	if res.Ok() || len(res.Regressions) != 1 {
+		t.Fatalf("degraded artifact not flagged: %+v", res)
+	}
+	r := res.Regressions[0]
+	if r.Metric != "throughput" || r.Delta < 0.49 || r.Delta > 0.51 {
+		t.Fatalf("regression = %+v, want ~50%% throughput drop", r)
+	}
+	if !strings.Contains(r.Key, old.Cells[0].Key()) {
+		t.Fatalf("regression key %q does not identify cell %q", r.Key, old.Cells[0].Key())
+	}
+	// A drop within tolerance passes.
+	mild := sampleArtifact()
+	mild.Cells[0].Throughput *= 0.95
+	if res := Compare(old, mild, 0.10); !res.Ok() {
+		t.Fatalf("5%% drop flagged at 10%% tolerance: %+v", res.Regressions)
+	}
+}
+
+func TestCompareFlagsAbortRateGrowth(t *testing.T) {
+	old := sampleArtifact()
+	worse := sampleArtifact()
+	worse.Cells[1].AbortRate = 0.5 // 0.2 -> 0.5 aborts per commit
+	res := Compare(old, worse, 0.10)
+	if res.Ok() {
+		t.Fatal("abort-rate growth not flagged")
+	}
+	if res.Regressions[0].Metric != "abort-rate" {
+		t.Fatalf("regression = %+v, want abort-rate", res.Regressions[0])
+	}
+	// Tiny absolute growth from zero stays under the floor.
+	noise := sampleArtifact()
+	noise.Cells[2].AbortRate = 0.03
+	if res := Compare(old, noise, 0.10); !res.Ok() {
+		t.Fatalf("sub-floor abort-rate growth flagged: %+v", res.Regressions)
+	}
+}
+
+func TestCompareMissingCellIsRegression(t *testing.T) {
+	old := sampleArtifact()
+	shrunk := sampleArtifact()
+	shrunk.Cells = shrunk.Cells[:2]
+	res := Compare(old, shrunk, 0.10)
+	if res.Ok() {
+		t.Fatal("vanished cell not flagged")
+	}
+	if len(res.MissingCells) != 1 || res.Regressions[len(res.Regressions)-1].Metric != "missing-cell" {
+		t.Fatalf("missing cell result: %+v", res)
+	}
+	// New cells are informational, not regressions.
+	grown := sampleArtifact()
+	grown.Add(Cell{Figure: "fig9", System: "TL2", Workload: "RBTree", Threads: 2, Throughput: 1})
+	res = Compare(old, grown, 0.10)
+	if !res.Ok() || len(res.NewCells) != 1 {
+		t.Fatalf("grown sweep result: %+v", res)
+	}
+}
+
+func TestCompareCountsImprovements(t *testing.T) {
+	old := sampleArtifact()
+	better := sampleArtifact()
+	better.Cells[0].Throughput *= 2
+	res := Compare(old, better, 0.10)
+	if !res.Ok() || res.Improvements != 1 {
+		t.Fatalf("improvement not counted: %+v", res)
+	}
+}
+
+func TestComparePrint(t *testing.T) {
+	old := sampleArtifact()
+	degraded := sampleArtifact()
+	degraded.Cells[0].Throughput *= 0.5
+	var buf bytes.Buffer
+	Compare(old, degraded, 0.10).Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1 regression") || !strings.Contains(out, "throughput") {
+		t.Fatalf("Print output:\n%s", out)
+	}
+	buf.Reset()
+	Compare(old, old, 0.10).Print(&buf)
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("clean Print output:\n%s", buf.String())
+	}
+}
+
+func TestCellKey(t *testing.T) {
+	c := Cell{Figure: "fig4", System: "FlexTM(Lazy)", Workload: "RBTree", Threads: 8}
+	if got := c.Key(); got != "fig4/FlexTM(Lazy)/RBTree@8" {
+		t.Fatalf("Key = %q", got)
+	}
+}

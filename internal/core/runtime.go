@@ -19,6 +19,7 @@ import (
 
 	"flextm/internal/baselines/cgl"
 	"flextm/internal/cm"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -155,6 +156,20 @@ type Runtime struct {
 	// decisions and per-transaction cycle attribution to it.
 	tel *telemetry.Registry
 
+	// fl mirrors the machine's flight recorder (captured at New; nil when
+	// recording is off). The runtime records transaction-lifecycle and
+	// contention-manager events alongside the protocol-level records the
+	// machine writes itself.
+	fl *flight.Recorder
+
+	// OnFlightDump, if set, receives a snapshot of the flight recorder the
+	// first time any core's liveness watchdog trips — the moment the run is
+	// known to be pathological — so the contention history leading up to the
+	// trip can be analyzed before escalation scrambles it. Invoked at most
+	// once per runtime.
+	OnFlightDump func(core int, recs []flight.Rec)
+	flightDumped bool
+
 	onAbortEnemy func(th *Thread, enemy int)
 }
 
@@ -174,6 +189,7 @@ func New(sys *tmesi.System, mode Mode, mgr cm.Manager) *Runtime {
 		stats:     make([]tmapi.Stats, cores),
 		live:      DefaultLiveness(),
 		tel:       sys.Telemetry(),
+		fl:        sys.Flight(),
 	}
 	rt.tswTable = sys.Alloc().Alloc(cores * memory.LineWords)
 	for c := 0; c < cores; c++ {
@@ -250,6 +266,15 @@ func (rt *Runtime) Stats() tmapi.Stats {
 		total.ConflictDegrees = append(total.ConflictDegrees, rt.stats[i].ConflictDegrees...)
 	}
 	return total
+}
+
+// dumpFlight hands the flight-recorder snapshot to OnFlightDump, once.
+func (rt *Runtime) dumpFlight(core int) {
+	if rt.flightDumped || rt.OnFlightDump == nil || rt.fl == nil {
+		return
+	}
+	rt.flightDumped = true
+	rt.OnFlightDump(core, rt.fl.Snapshot())
 }
 
 // tswEntry returns the address of core's slot in the TSW table.

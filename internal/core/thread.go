@@ -4,6 +4,7 @@ import (
 	"flextm/internal/baselines/cgl"
 	"flextm/internal/cm"
 	"flextm/internal/cst"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -121,6 +122,8 @@ func (th *Thread) watchdogTripped(sectionStart sim.Time) bool {
 		th.rt.tel.Inc(th.core, telemetry.CtrWatchdogTrip)
 		th.rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "watchdog",
 			What: "trip", Arg: int64(th.consecAborts)})
+		th.rt.fl.Rec(th.core, th.ctx.Now(), flight.WatchdogTrip, -1, clamp8(th.consecAborts), 0)
+		th.rt.dumpFlight(th.core)
 	}
 	return tripped
 }
@@ -137,6 +140,7 @@ func (th *Thread) escalate(stamp uint64, body func(tmapi.Txn)) {
 	rt.stats[th.core].Escalations++
 	rt.tel.Inc(th.core, telemetry.CtrEscalation)
 	rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "watchdog", What: "escalate"})
+	rt.fl.Rec(th.core, th.ctx.Now(), flight.Escalate, -1, 0, 0)
 	debugf("t=%d c=%d ESCALATE after %d aborts", th.ctx.Now(), th.core, th.consecAborts)
 	if rt.fallback == nil {
 		rt.fallback = cgl.NewSpinlock(rt.sys)
@@ -207,6 +211,7 @@ func (th *Thread) begin(stamp uint64) {
 	sys.Store(th.ctx, th.core, rt.tswEntry(th.core), uint64(d.tsw))
 	th.ctx.Advance(rt.costs.Begin)
 	th.emit(trace.Begin, -1)
+	rt.fl.Rec(th.core, th.ctx.Now(), flight.TxnBegin, -1, 0, 0)
 	// A strong-isolation abort can race with begin; surface it now.
 	th.checkAlert()
 }
@@ -216,6 +221,7 @@ func (th *Thread) begin(stamp uint64) {
 func (th *Thread) onAbort() {
 	sys := th.rt.sys
 	th.emit(trace.Abort, -1)
+	th.rt.fl.Rec(th.core, th.ctx.Now(), flight.TxnAbort, -1, 0, 0)
 	debugf("t=%d c=%d ABORT", th.ctx.Now(), th.core)
 	th.d.live = false
 	if sys.TxnActive(th.core) {
@@ -239,6 +245,14 @@ func clampSub(a, b sim.Time) sim.Time {
 		return 0
 	}
 	return a - b
+}
+
+// clamp8 saturates a non-negative count into a flight-record Aux byte.
+func clamp8(n int) uint8 {
+	if n > 255 {
+		return 255
+	}
+	return uint8(n)
 }
 
 // abortPanic unwinds the current transaction body.
@@ -331,11 +345,13 @@ func (th *Thread) resolveConflict(c tmesi.Conflict) {
 			rt.tel.Inc(th.core, telemetry.CtrCMAbortSelf)
 			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-self", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortSelf, c.Responder)
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortSelf, c.Responder, 0, 0)
 			abortPanic()
 		case cm.AbortEnemy:
 			rt.tel.Inc(th.core, telemetry.CtrCMAbortEnemy)
 			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-enemy", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortEnemy, c.Responder)
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortEnemy, c.Responder, 0, 0)
 			debugf("t=%d c=%d CM abort-enemy %d", th.ctx.Now(), th.core, c.Responder)
 			th.abortRemote(c.Responder)
 			if h := rt.onAbortEnemy; h != nil {
@@ -408,6 +424,7 @@ func (th *Thread) clearLocalCST(enemy int) {
 	t.Get(cst.WW).Clear(enemy)
 	t.Get(cst.RW).Clear(enemy)
 	th.rt.tel.Add(th.core, telemetry.CtrCSTClear, 3)
+	th.rt.fl.Rec(th.core, th.ctx.Now(), flight.CSTClear, enemy, 0, 0)
 }
 
 // commit implements END_TRANSACTION via the Commit() routine of Figure 3.
@@ -423,6 +440,9 @@ func (th *Thread) commit() {
 		wr := table.Get(cst.WR).CopyAndClear()
 		ww := table.Get(cst.WW).CopyAndClear()
 		rt.tel.Add(th.core, telemetry.CtrCSTCopyClear, 2)
+		if wr != 0 || ww != 0 {
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.CSTClear, -1, 0, 0)
+		}
 		rw := *table.Get(cst.RW)
 		enemies := wr | ww
 		for _, e := range enemies.Procs() {
@@ -441,6 +461,7 @@ func (th *Thread) commit() {
 				th.ctx.Advance(rt.costs.CSTWrite) // register reads + AND
 				continue
 			}
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortEnemy, e, 0, 0)
 			th.abortRemote(e)
 			if h := rt.onAbortEnemy; h != nil {
 				h(th, e)
@@ -452,6 +473,11 @@ func (th *Thread) commit() {
 		case tmesi.CommitOK:
 			th.d.live = false
 			th.emit(trace.Commit, -1)
+			var fb uint8
+			if th.inFallback {
+				fb = 1
+			}
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.TxnCommit, -1, fb, 0)
 			st := &rt.stats[th.core]
 			st.Commits++
 			st.ConflictDegrees = append(st.ConflictDegrees, resolved.Count())
@@ -462,6 +488,7 @@ func (th *Thread) commit() {
 				for _, x := range rw.Procs() {
 					sys.CST(x).Get(cst.WR).Clear(th.core)
 					rt.tel.Inc(th.core, telemetry.CtrCSTClear)
+					rt.fl.Rec(th.core, th.ctx.Now(), flight.CSTClear, x, 0, 0)
 					th.ctx.Advance(rt.costs.CSTWrite)
 				}
 			}

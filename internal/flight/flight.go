@@ -1,0 +1,205 @@
+// Package flight is an always-on, near-zero-overhead flight recorder for
+// the FlexTM machine: one fixed-size binary ring buffer per core, holding
+// plain structs (no interface boxing, no per-event allocation) and
+// overwriting the oldest records when full. Instrumentation sites record
+// unconditionally through nil-safe methods, mirroring internal/telemetry
+// and internal/fault, so a detached recorder costs one predictable branch.
+//
+// The recorder captures the events the conflict-graph analyzer
+// (internal/conflictgraph) needs to *explain* aborts rather than merely
+// count them: transaction begin/commit/abort, CST set/clear with the
+// conflict type (R-W/W-R/W-W) and peer core, contention-manager kills,
+// AOU alerts, overflow-table spills, CAS-Commit refusals, and
+// watchdog/escalation events. On a watchdog trip — or on demand via
+// `flextm -profile` — the rings are snapshotted and analyzed post mortem.
+package flight
+
+import (
+	"fmt"
+	"sort"
+
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+)
+
+// Kind classifies one recorded event.
+type Kind uint8
+
+// Event kinds. Aux carries kind-specific detail (see each comment).
+const (
+	// TxnBegin: a transaction attempt started on Core.
+	TxnBegin Kind = iota
+	// TxnCommit: the attempt committed. Aux=1 when inside the serialized
+	// fallback.
+	TxnCommit
+	// TxnAbort: the attempt aborted (any cause).
+	TxnAbort
+	// AbortEnemy: Core CASed Peer's status word to aborted (eager CM verdict
+	// or the lazy commit loop of Figure 3).
+	AbortEnemy
+	// AbortSelf: the contention manager told Core to abort itself; Peer is
+	// the enemy it yielded to.
+	AbortSelf
+	// CSTSet: the protocol set conflict bits between Core (the requestor)
+	// and Peer (the responder). Aux is the cst.Kind recorded in the
+	// requestor's table (R-W, W-R, or W-W); Line is the conflicting line.
+	CSTSet
+	// CSTClear: software cleared Core's conflict bits for Peer (-1 means a
+	// commit-time copy-and-clear of the whole W-R/W-W registers).
+	CSTClear
+	// AOUAlert: an alert-on-update trap was delivered to Core for Line.
+	AOUAlert
+	// OTSpill: Core spilled the speculative Line to its overflow table.
+	OTSpill
+	// CommitRefused: Core's CAS-Commit returned CommitCSTFail (non-empty
+	// W-R/W-W, or an injected commit race).
+	CommitRefused
+	// WatchdogTrip: Core's liveness watchdog tripped; Aux is the consecutive
+	// abort count, clamped to 255.
+	WatchdogTrip
+	// Escalate: Core entered the serialized-irrevocable fallback.
+	Escalate
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	TxnBegin:      "begin",
+	TxnCommit:     "commit",
+	TxnAbort:      "abort",
+	AbortEnemy:    "abort-enemy",
+	AbortSelf:     "abort-self",
+	CSTSet:        "cst-set",
+	CSTClear:      "cst-clear",
+	AOUAlert:      "aou-alert",
+	OTSpill:       "ot-spill",
+	CommitRefused: "commit-refused",
+	WatchdogTrip:  "watchdog-trip",
+	Escalate:      "escalate",
+}
+
+// String returns the kind's stable kebab-case name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rec is one recorded event. It is a fixed-size value type: recording one
+// is two index computations and a struct store, with no allocation and no
+// boxing.
+type Rec struct {
+	At   sim.Time        // virtual time of the enclosing operation
+	Line memory.LineAddr // line operand (0 when not applicable)
+	Seq  uint64          // global record order (ties in At are common)
+	Core int16           // the core the event happened on
+	Peer int16           // the other core (-1 when not applicable)
+	Kind Kind
+	Aux  uint8 // kind-specific operand (cst.Kind, abort count, ...)
+}
+
+// Recorder is the per-core ring store. A nil *Recorder is valid and means
+// "disabled": Rec returns immediately.
+type Recorder struct {
+	rings   [][]Rec
+	written []uint64 // total records ever written per core
+	seq     uint64
+}
+
+// DefaultPerCore is the default ring capacity per core: deep enough to hold
+// the full conflict history of the paper-scale runs, small enough (32 B per
+// record) to stay resident.
+const DefaultPerCore = 4096
+
+// New returns a recorder with perCore ring slots for each of cores cores.
+// perCore <= 0 selects DefaultPerCore.
+func New(cores, perCore int) *Recorder {
+	if perCore <= 0 {
+		perCore = DefaultPerCore
+	}
+	r := &Recorder{
+		rings:   make([][]Rec, cores),
+		written: make([]uint64, cores),
+	}
+	for i := range r.rings {
+		r.rings[i] = make([]Rec, perCore)
+	}
+	return r
+}
+
+// Enabled reports whether the recorder stores anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Rec records one event on core. The oldest record of that core's ring is
+// overwritten when full. Safe (and free) on a nil recorder.
+func (r *Recorder) Rec(core int, at sim.Time, k Kind, peer int, aux uint8, line memory.LineAddr) {
+	if r == nil {
+		return
+	}
+	ring := r.rings[core]
+	n := r.written[core]
+	r.written[core] = n + 1
+	r.seq++
+	ring[n%uint64(len(ring))] = Rec{
+		At: at, Line: line, Seq: r.seq,
+		Core: int16(core), Peer: int16(peer), Kind: k, Aux: aux,
+	}
+}
+
+// Written returns the total number of records ever recorded.
+func (r *Recorder) Written() uint64 {
+	if r == nil {
+		return 0
+	}
+	var t uint64
+	for _, n := range r.written {
+		t += n
+	}
+	return t
+}
+
+// Overwritten returns how many records have been lost to ring wrap-around;
+// a non-zero value means Snapshot covers only the most recent interval.
+func (r *Recorder) Overwritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	var t uint64
+	for i, n := range r.written {
+		if size := uint64(len(r.rings[i])); n > size {
+			t += n - size
+		}
+	}
+	return t
+}
+
+// Snapshot returns a copy of every live record across all rings, sorted by
+// record order (Seq, which refines At). The rings are left untouched, so a
+// watchdog dump does not disturb a later end-of-run profile.
+func (r *Recorder) Snapshot() []Rec {
+	if r == nil {
+		return nil
+	}
+	var out []Rec
+	for i, ring := range r.rings {
+		n := r.written[i]
+		if n > uint64(len(ring)) {
+			n = uint64(len(ring))
+		}
+		out = append(out, ring[:n]...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Reset discards all records (the rings stay allocated).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for i := range r.written {
+		r.written[i] = 0
+	}
+	r.seq = 0
+}

@@ -5,8 +5,10 @@ import (
 
 	"flextm/internal/cache"
 	"flextm/internal/cm"
+	"flextm/internal/conflictgraph"
 	"flextm/internal/core"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/osmodel"
 	"flextm/internal/sim"
@@ -74,6 +76,11 @@ type ChaosCell struct {
 	// Violations lists every invariant the cell broke; empty means the
 	// protocol's backstops held.
 	Violations []string `json:"violations,omitempty"`
+	// Pathologies counts contention pathologies detected by the
+	// conflict-graph analysis of the cell's flight-recorder history;
+	// present only for cells that tripped the watchdog or broke an
+	// invariant (the interesting post-mortems).
+	Pathologies map[string]uint64 `json:"pathologies,omitempty"`
 }
 
 // ChaosResult is a whole campaign.
@@ -115,6 +122,7 @@ func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mod
 	sys := tmesi.New(cfg)
 	tel := telemetry.New(spec.Threads)
 	sys.SetTelemetry(tel)
+	sys.SetFlight(flight.New(spec.Threads, 0))
 	rt := core.New(sys, mode, cm.NewPolka())
 	rt.SetLiveness(spec.Liveness)
 	// Mix the class into the seed so cells draw independent schedules even
@@ -185,6 +193,16 @@ func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mod
 	cell.WatchdogTrips = snap.Total(telemetry.CtrWatchdogTrip)
 	cell.Injected = inj.Injected()
 	cell.Cycles = e.MaxTime()
+	if cell.WatchdogTrips > 0 || len(cell.Violations) > 0 {
+		// The run floundered: explain it. The analysis reads the rings
+		// non-destructively and the campaign is deterministic, so the
+		// summary is reproducible.
+		rep := conflictgraph.Analyze(sys.Flight().Snapshot(),
+			conflictgraph.Options{Cores: spec.Threads})
+		if counts := rep.PathologyCounts(); len(counts) > 0 {
+			cell.Pathologies = counts
+		}
+	}
 	return cell
 }
 

@@ -38,6 +38,9 @@ type SweepConfig struct {
 	// Metrics attaches a telemetry registry to every run of the sweep; each
 	// Result then carries a counter snapshot.
 	Metrics bool
+	// Flight attaches a flight recorder to every run of the sweep; each
+	// Result then carries the recorder for conflict-graph analysis.
+	Flight bool
 	// OnResult, if non-nil, observes every data point as it completes
 	// (paperbench uses it for machine-readable output).
 	OnResult func(Result)
@@ -131,6 +134,7 @@ func sweepWithBase(sc SweepConfig, f workloads.Factory, systems []SystemName, ba
 			res, err := Run(RunConfig{
 				System: sysName, Workload: f, Threads: th, OpsPerThread: sc.Ops,
 				Machine: sc.Machine, Verify: sc.Verify, Metrics: sc.Metrics,
+				Flight: sc.Flight,
 			})
 			if err != nil {
 				return Plot{}, fmt.Errorf("%s@%d: %w", sysName, th, err)
@@ -311,7 +315,7 @@ func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowRe
 		bounded, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: small, Verify: sc.Verify,
-			Metrics: sc.Metrics,
+			Metrics: sc.Metrics, Flight: sc.Flight,
 		})
 		if err != nil {
 			return nil, err
@@ -320,7 +324,7 @@ func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowRe
 		ideal, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: unbounded, Verify: sc.Verify,
-			Metrics: sc.Metrics,
+			Metrics: sc.Metrics, Flight: sc.Flight,
 		})
 		if err != nil {
 			return nil, err
@@ -394,7 +398,7 @@ func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) (
 		res, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
-			Metrics: true,
+			Metrics: true, Flight: sc.Flight,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sig width %d: %w", bits, err)

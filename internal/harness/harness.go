@@ -16,6 +16,7 @@ import (
 	"flextm/internal/cm"
 	"flextm/internal/core"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
@@ -87,6 +88,13 @@ type RunConfig struct {
 	// default: instrumentation sites then see a nil registry and pay only a
 	// branch.
 	Metrics bool
+	// Flight attaches a flight recorder to the machine before the run; the
+	// recorder (rings intact) is returned in Result.Flight for post-mortem
+	// conflict-graph analysis. Off by default, like Metrics.
+	Flight bool
+	// FlightPerCore overrides the ring depth per core (0 selects
+	// flight.DefaultPerCore).
+	FlightPerCore int
 	// YieldTo, if non-nil, is invoked by FlexTM threads when a transaction
 	// aborts, before retrying (the multiprogramming experiment's
 	// user-level yield).
@@ -135,6 +143,11 @@ type Result struct {
 	// RunConfig.Metrics was set.
 	Telemetry *telemetry.Snapshot
 
+	// Flight is the run's flight recorder, rings intact; nil unless
+	// RunConfig.Flight was set. Snapshot + conflictgraph.Analyze turn it
+	// into a contention profile.
+	Flight *flight.Recorder
+
 	// Escalations counts Atomic sections finished in serialized-irrevocable
 	// fallback mode (FlexTM only).
 	Escalations uint64
@@ -162,6 +175,10 @@ func Run(rc RunConfig) (Result, error) {
 		// Attach before NewRuntime: the runtime captures the registry (and
 		// the signatures switch into audit mode) at construction.
 		sys.SetTelemetry(telemetry.New(rc.Machine.Cores))
+	}
+	if rc.Flight {
+		// Attach before NewRuntime for the same reason as telemetry.
+		sys.SetFlight(flight.New(rc.Machine.Cores, rc.FlightPerCore))
 	}
 	var inj *fault.Injector
 	if rc.Faults.Any() {
@@ -223,6 +240,7 @@ func Run(rc RunConfig) (Result, error) {
 		Machine:  sys.Stats(),
 	}
 	res.Escalations = st.Escalations
+	res.Flight = sys.Flight()
 	if inj != nil {
 		rep := inj.Report()
 		res.FaultReport = &rep

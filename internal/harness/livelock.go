@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+
+	"flextm/internal/cm"
+	"flextm/internal/conflictgraph"
+	"flextm/internal/core"
+	"flextm/internal/fault"
+	"flextm/internal/flight"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/tmapi"
+	"flextm/internal/tmesi"
+)
+
+// LivelockOutcome summarizes a LivelockProbe run.
+type LivelockOutcome struct {
+	Commits     uint64
+	Aborts      uint64
+	Escalations uint64
+	// Dumped is true when the report came from the watchdog's flight dump
+	// (taken the moment the pathology was detected) rather than the
+	// end-of-run rings.
+	Dumped bool
+}
+
+// LivelockProbe runs a deliberately pathological cell and profiles it: two
+// threads under the Aggressive contention manager (always abort the enemy)
+// write the same two lines in opposite order, with injected Bloom false
+// positives keeping the conflict pressure on even between genuine overlaps.
+// The symmetric kill-retry-kill exchange is the classic dueling livelock;
+// FlexTM's obstruction-free optimistic path cannot break it, so the run
+// makes progress only through the watchdog's serialized fallback.
+//
+// The probe attaches a flight recorder, captures the watchdog-triggered
+// dump, and returns its conflict-graph analysis — which must classify the
+// exchange as an abort cycle. It is both the acceptance test for the
+// profiler ("does the analyzer detect a real livelock?") and a regression
+// probe for the escalation path ("does the run terminate at all?").
+func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	sys := tmesi.New(cfg)
+	fl := flight.New(cfg.Cores, 0)
+	sys.SetFlight(fl)
+	inj := fault.NewInjector(fault.Config{Seed: seed}.WithRate(fault.SigFalsePos, 0.25))
+	sys.SetFaultInjector(inj)
+
+	rt := core.New(sys, core.Eager, cm.Aggressive{})
+	// Tight watchdog: the duel must trip it quickly, and escalation bounds
+	// the run. Commit retries stay bounded too in case the duel shifts to
+	// commit-time refusals.
+	// Tight watchdog: Aggressive's randomized exponential backoff breaks the
+	// duel after ~10 exchanges, so the consecutive-abort threshold must sit
+	// below that for the trip (and hence the flight dump) to be reliable
+	// across seeds.
+	rt.SetLiveness(core.Liveness{MaxConsecAborts: 5, MaxStallCycles: 500_000, MaxCommitRetries: 32})
+
+	var dumped []flight.Rec
+	rt.OnFlightDump = func(c int, recs []flight.Rec) { dumped = recs }
+
+	lineA := sys.Alloc().Alloc(memory.LineWords)
+	lineB := sys.Alloc().Alloc(memory.LineWords)
+
+	const rounds = 40
+	e := sim.NewEngine()
+	for t := 0; t < 2; t++ {
+		id := t
+		e.Spawn(fmt.Sprintf("duel-%d", id), 0, func(ctx *sim.Ctx) {
+			th := rt.BindThread(ctx, id)
+			first, second := lineA, lineB
+			if id == 1 {
+				first, second = lineB, lineA
+			}
+			for n := 0; n < rounds; n++ {
+				th.Atomic(func(tx tmapi.Txn) {
+					tx.Store(first, tx.Load(first)+1)
+					th.Work(200) // hold the first line long enough to overlap
+					tx.Store(second, tx.Load(second)+1)
+					// Vulnerability window: keep the transaction open after
+					// the second store so the freshly killed enemy has time
+					// to restart and retaliate before we reach CAS-Commit.
+					// This is what turns a one-sided kill into a duel.
+					th.Work(200)
+				})
+			}
+		})
+	}
+	if blocked := e.Run(); blocked != 0 {
+		return nil, LivelockOutcome{}, fmt.Errorf("livelock probe: %d threads blocked (escalation failed)", blocked)
+	}
+
+	st := rt.Stats()
+	out := LivelockOutcome{
+		Commits:     st.Commits,
+		Aborts:      st.Aborts,
+		Escalations: st.Escalations,
+		Dumped:      dumped != nil,
+	}
+	recs := dumped
+	if recs == nil {
+		recs = fl.Snapshot()
+	}
+	rep := conflictgraph.Analyze(recs, conflictgraph.Options{Cores: cfg.Cores})
+	if got, want := sys.ReadWordRaw(lineA)+sys.ReadWordRaw(lineB), uint64(2*2*rounds); got != want {
+		return rep, out, fmt.Errorf("livelock probe: line sum = %d, want %d", got, want)
+	}
+	return rep, out, nil
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmitCountsDropsAtCapacity(t *testing.T) {
+	r := New(2)
+	r.EnableEvents(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Core: 0, Mech: "cm", What: "x", Arg: int64(i)})
+	}
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("events stored = %d, want 3", got)
+	}
+	if got := r.DroppedEvents(); got != 2 {
+		t.Fatalf("DroppedEvents = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if snap.DroppedEvents != 2 {
+		t.Fatalf("Snapshot.DroppedEvents = %d, want 2", snap.DroppedEvents)
+	}
+
+	var buf bytes.Buffer
+	snap.Print(&buf)
+	if !strings.Contains(buf.String(), "dropped-events 2") {
+		t.Fatalf("Print does not surface dropped events:\n%s", buf.String())
+	}
+
+	// A disabled sink refuses silently: nothing was ever admitted, so
+	// nothing is "dropped".
+	r2 := New(1)
+	r2.Emit(Event{Core: 0, Mech: "cm", What: "x"})
+	if got := r2.DroppedEvents(); got != 0 {
+		t.Fatalf("disabled sink DroppedEvents = %d, want 0", got)
+	}
+
+	// Reset clears the drop count with everything else.
+	r.Reset()
+	if got := r.DroppedEvents(); got != 0 {
+		t.Fatalf("DroppedEvents after Reset = %d, want 0", got)
+	}
+}
+
+func TestSnapshotDiffDroppedEvents(t *testing.T) {
+	r := New(1)
+	r.EnableEvents(1)
+	r.Emit(Event{What: "a"})
+	r.Emit(Event{What: "b"})
+	first := r.Snapshot()
+	r.Emit(Event{What: "c"})
+	r.Emit(Event{What: "d"})
+	second := r.Snapshot()
+	if d := second.Diff(first); d.DroppedEvents != 2 {
+		t.Fatalf("Diff.DroppedEvents = %d, want 2", d.DroppedEvents)
+	}
+	// Mismatched (or reset) pairs clamp to zero rather than underflowing.
+	if d := first.Diff(second); d.DroppedEvents != 0 {
+		t.Fatalf("reversed Diff.DroppedEvents = %d, want 0", d.DroppedEvents)
+	}
+}
+
+func TestEmptyHistIsGuarded(t *testing.T) {
+	var h Hist
+	if m := h.Mean(); m != 0 || math.IsNaN(m) {
+		t.Fatalf("empty Mean = %v, want 0", m)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2, math.NaN()} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+	// An empty snapshot histogram (the Print path) must also be zero-safe.
+	s := New(1).Snapshot()
+	m := s.Hist(HistID(0))
+	if v := m.Mean(); v != 0 {
+		t.Fatalf("snapshot empty Mean = %v", v)
+	}
+}
+
+func TestQuantileClampsOutOfRange(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.observe(uint64(i))
+	}
+	lo, hi := h.Quantile(0), h.Quantile(1)
+	if got := h.Quantile(-5); got != lo {
+		t.Fatalf("Quantile(-5) = %d, want clamp to Quantile(0) = %d", got, lo)
+	}
+	if got := h.Quantile(7); got != hi {
+		t.Fatalf("Quantile(7) = %d, want clamp to Quantile(1) = %d", got, hi)
+	}
+	if got := h.Quantile(math.NaN()); got != lo {
+		t.Fatalf("Quantile(NaN) = %d, want clamp to Quantile(0) = %d", got, lo)
+	}
+	if q50 := h.Quantile(0.5); q50 < lo || q50 > hi {
+		t.Fatalf("Quantile(0.5) = %d outside [%d, %d]", q50, lo, hi)
+	}
+}

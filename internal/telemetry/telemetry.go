@@ -31,18 +31,18 @@ type Counter int
 // accumulated with Add; the rest are unit counts.
 const (
 	// TMESI protocol / programmable data isolation.
-	CtrTMIEnter     Counter = iota // lines entering the TMI state via TStore
-	CtrTIEnter                     // threatened loads filled in the TI state
-	CtrProbes                      // forwarding rounds issued for this core's misses
-	CtrThreatened                  // Threatened responses received
-	CtrExposedRead                 // Exposed-Read responses received
-	CtrStrongIsoAbort              // transactions doomed by non-txn accesses (victim side)
-	CtrSummaryTrap                 // L2 summary-signature traps taken
-	CtrCommitOK                    // CAS-Commit: success
-	CtrCommitAborted               // CAS-Commit: status word already aborted
-	CtrCommitCSTFail               // CAS-Commit: refused on non-empty W-R/W-W
-	CtrFlashCommitLines            // TMI lines flash-committed to M
-	CtrFlashAbortLines             // speculative lines dropped by flash abort
+	CtrTMIEnter         Counter = iota // lines entering the TMI state via TStore
+	CtrTIEnter                         // threatened loads filled in the TI state
+	CtrProbes                          // forwarding rounds issued for this core's misses
+	CtrThreatened                      // Threatened responses received
+	CtrExposedRead                     // Exposed-Read responses received
+	CtrStrongIsoAbort                  // transactions doomed by non-txn accesses (victim side)
+	CtrSummaryTrap                     // L2 summary-signature traps taken
+	CtrCommitOK                        // CAS-Commit: success
+	CtrCommitAborted                   // CAS-Commit: status word already aborted
+	CtrCommitCSTFail                   // CAS-Commit: refused on non-empty W-R/W-W
+	CtrFlashCommitLines                // TMI lines flash-committed to M
+	CtrFlashAbortLines                 // speculative lines dropped by flash abort
 
 	// Access signatures.
 	CtrSigTruePos  // membership hits confirmed by the precise shadow set
@@ -75,12 +75,12 @@ const (
 	CtrCMBackoffCycles // cycles spent in post-abort retry back-off
 
 	// Per-transaction cycle attribution.
-	CtrTxnCommits   // committed transactions attributed
-	CtrTxnAborts    // aborted attempts attributed
-	CtrCycUseful    // cycles of committed work outside stalls and commit
-	CtrCycStall     // cycles waiting (CM back-off, retry back-off)
-	CtrCycAborted   // cycles of work discarded by aborts
-	CtrCycCommitOv  // cycles inside the commit routine of committed attempts
+	CtrTxnCommits  // committed transactions attributed
+	CtrTxnAborts   // aborted attempts attributed
+	CtrCycUseful   // cycles of committed work outside stalls and commit
+	CtrCycStall    // cycles waiting (CM back-off, retry back-off)
+	CtrCycAborted  // cycles of work discarded by aborts
+	CtrCycCommitOv // cycles inside the commit routine of committed attempts
 
 	// Fault injection and liveness hardening.
 	CtrFaultInjected   // injected hardware faults that hit this core
@@ -223,10 +223,17 @@ func (h *Hist) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-th quantile (q in [0,1]),
-// resolved to the containing power-of-two bucket.
+// resolved to the containing power-of-two bucket. q outside [0,1] clamps:
+// converting a negative float to uint64 is implementation-defined, so an
+// out-of-range q must never reach the index computation.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
+	}
+	if q < 0 || q != q { // NaN compares false against everything
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	target := uint64(q * float64(h.Count))
 	if target >= h.Count {
@@ -269,6 +276,10 @@ type Registry struct {
 	cores    []coreSlot
 	events   []Event
 	eventCap int
+	// eventsDropped counts Emit calls refused because the sink was full —
+	// the consumer's signal that Events() is a truncated prefix, not the
+	// whole story.
+	eventsDropped uint64
 }
 
 // New returns an enabled registry sized for the given core count.
@@ -316,11 +327,25 @@ func (r *Registry) EnableEvents(capacity int) {
 }
 
 // Emit records a structured event if the sink is enabled and has room.
+// Events arriving at a full sink are counted in DroppedEvents rather than
+// silently discarded.
 func (r *Registry) Emit(e Event) {
-	if r == nil || r.eventCap == 0 || len(r.events) >= r.eventCap {
+	if r == nil || r.eventCap == 0 {
+		return
+	}
+	if len(r.events) >= r.eventCap {
+		r.eventsDropped++
 		return
 	}
 	r.events = append(r.events, e)
+}
+
+// DroppedEvents returns how many events were refused by a full sink.
+func (r *Registry) DroppedEvents() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.eventsDropped
 }
 
 // Events returns the recorded structured events in order.
@@ -340,6 +365,7 @@ func (r *Registry) Reset() {
 		r.cores[i] = coreSlot{}
 	}
 	r.events = r.events[:0]
+	r.eventsDropped = 0
 }
 
 // CoreSnapshot is one core's frozen telemetry state.
@@ -353,6 +379,8 @@ type CoreSnapshot struct {
 // longer run.
 type Snapshot struct {
 	Cores []CoreSnapshot
+	// DroppedEvents is the event sink's refusal count at snapshot time.
+	DroppedEvents uint64
 }
 
 // Snapshot returns a deep copy of the registry's current state (empty for a
@@ -361,7 +389,7 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	s := Snapshot{Cores: make([]CoreSnapshot, len(r.cores))}
+	s := Snapshot{Cores: make([]CoreSnapshot, len(r.cores)), DroppedEvents: r.eventsDropped}
 	for i := range r.cores {
 		s.Cores[i].Counters = r.cores[i].ctr
 		s.Cores[i].Hists = r.cores[i].hist
@@ -374,7 +402,10 @@ func (r *Registry) Snapshot() Snapshot {
 // underflow clamps to zero so a mismatched pair cannot produce garbage
 // deltas.
 func (s Snapshot) Diff(prev Snapshot) Snapshot {
-	out := Snapshot{Cores: make([]CoreSnapshot, len(s.Cores))}
+	out := Snapshot{
+		Cores:         make([]CoreSnapshot, len(s.Cores)),
+		DroppedEvents: sub(s.DroppedEvents, prev.DroppedEvents),
+	}
 	for i := range s.Cores {
 		out.Cores[i] = s.Cores[i]
 		if i >= len(prev.Cores) {
@@ -557,6 +588,10 @@ func (s Snapshot) Print(w io.Writer) {
 		}
 		fmt.Fprintf(w, "[hist %s] n=%d mean=%.0f p50<=%d p90<=%d p99<=%d\n",
 			h, m.Count, m.Mean(), m.Quantile(0.50), m.Quantile(0.90), m.Quantile(0.99))
+	}
+	if s.DroppedEvents > 0 {
+		fmt.Fprintf(w, "[events] dropped-events %d (sink capacity exceeded; event log is truncated)\n",
+			s.DroppedEvents)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"flextm/internal/cache"
 	"flextm/internal/cst"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
@@ -44,6 +45,7 @@ func (s *System) CASCommitNoCST(ctx *sim.Ctx, core int, tsw memory.Addr, old, ne
 
 func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uint64, checkCST bool) CommitOutcome {
 	ctx.Sync()
+	s.now = ctx.Now()
 	c := &s.cores[core]
 	lat, ln := s.ensureExclusive(ctx, core, tsw.Line())
 
@@ -58,6 +60,7 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 		// Unresolved W-R/W-W conflicts: hardware refuses the commit.
 		s.stats.CASCommitCSTFails++
 		s.tel.Inc(core, telemetry.CtrCommitCSTFail)
+		s.fl.Rec(core, s.now, flight.CommitRefused, -1, 0, tsw.Line())
 		ctx.Advance(lat)
 		return CommitCSTFail
 	}
@@ -71,6 +74,7 @@ func (s *System) casCommit(ctx *sim.Ctx, core int, tsw memory.Addr, old, new uin
 		s.stats.CASCommitCSTFails++
 		s.tel.Inc(core, telemetry.CtrCommitCSTFail)
 		s.tel.Inc(core, telemetry.CtrFaultInjected)
+		s.fl.Rec(core, s.now, flight.CommitRefused, -1, 1, tsw.Line())
 		ctx.Advance(lat)
 		return CommitCSTFail
 	}
@@ -159,6 +163,7 @@ func (s *System) ALoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 		c.alerts.Enqueue(a.Line())
 		s.stats.Alerts++
 		s.tel.Inc(core, telemetry.CtrAlert)
+		s.fl.Rec(core, s.now, flight.AOUAlert, -1, 0, a.Line())
 	}
 	return res
 }
@@ -314,6 +319,7 @@ func (s *System) RaiseAlert(core int, a memory.Addr) {
 	s.cores[core].alerts.Enqueue(a.Line())
 	s.stats.Alerts++
 	s.tel.Inc(core, telemetry.CtrAlert)
+	s.fl.Rec(core, s.now, flight.AOUAlert, -1, 0, a.Line())
 }
 
 // RemapLine implements the OS side of a page remap for one line

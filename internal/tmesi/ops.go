@@ -4,6 +4,7 @@ import (
 	"flextm/internal/cache"
 	"flextm/internal/cst"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -27,6 +28,7 @@ func (k reqKind) transactional() bool { return k == reqGETST || k == reqTGETX }
 // in the TI state (Figure 1).
 func (s *System) TLoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.TLoads++
 	c := &s.cores[core]
 	res := s.watchCheck(core, a, false)
@@ -78,6 +80,7 @@ func (s *System) TLoad(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 // speculative writer (Section 3.5).
 func (s *System) Load(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.Loads++
 	c := &s.cores[core]
 	res := s.watchCheck(core, a, false)
@@ -124,6 +127,7 @@ func (s *System) Load(ctx *sim.Ctx, core int, a memory.Addr) OpResult {
 // responses on their subsequent coherence requests.
 func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResult {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.TStores++
 	c := &s.cores[core]
 	res := s.watchCheck(core, a, true)
@@ -194,6 +198,7 @@ func (s *System) TStore(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResul
 // transaction.
 func (s *System) Store(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResult {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.Stores++
 	res := s.watchCheck(core, a, true)
 	lat, ln := s.ensureExclusive(ctx, core, a.Line())
@@ -207,6 +212,7 @@ func (s *System) Store(ctx *sim.Ctx, core int, a memory.Addr, v uint64) OpResult
 // words, lock words, and version clocks.
 func (s *System) CAS(ctx *sim.Ctx, core int, a memory.Addr, old, new uint64) (OpResult, bool) {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.Stores++
 	res := s.watchCheck(core, a, true)
 	lat, ln := s.ensureExclusive(ctx, core, a.Line())
@@ -224,6 +230,7 @@ func (s *System) CAS(ctx *sim.Ctx, core int, a memory.Addr, old, new uint64) (Op
 // value (used by the TL2 baseline's global version clock).
 func (s *System) FetchAdd(ctx *sim.Ctx, core int, a memory.Addr, delta uint64) uint64 {
 	ctx.Sync()
+	s.now = ctx.Now()
 	s.stats.Stores++
 	lat, ln := s.ensureExclusive(ctx, core, a.Line())
 	old := ln.Data[a.Offset()]
@@ -341,6 +348,7 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 					c.table.Set(cst.RW, r)
 					s.tel.Inc(r, telemetry.CtrCSTSet)
 					s.tel.Inc(core, telemetry.CtrCSTSet)
+					s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.RW), line)
 				}
 			}
 		case reqTGETX:
@@ -353,6 +361,7 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 				c.table.Set(cst.WW, r)
 				s.tel.Inc(r, telemetry.CtrCSTSet)
 				s.tel.Inc(core, telemetry.CtrCSTSet)
+				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WW), line)
 			} else if sigR {
 				s.stats.ExposedReadResponses++
 				s.tel.Inc(core, telemetry.CtrExposedRead)
@@ -361,6 +370,7 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 				c.table.Set(cst.WR, r)
 				s.tel.Inc(r, telemetry.CtrCSTSet)
 				s.tel.Inc(core, telemetry.CtrCSTSet)
+				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WR), line)
 			}
 		case reqGETX:
 			if sigW || sigR {
@@ -471,6 +481,7 @@ func (s *System) invalidateLine(rc *coreState, owner int, rln *cache.Line) {
 			rc.alerts.Enqueue(rln.Tag)
 			s.stats.Alerts++
 			s.tel.Inc(owner, telemetry.CtrAlert)
+			s.fl.Rec(owner, s.now, flight.AOUAlert, -1, 0, rln.Tag)
 		}
 	}
 	rln.State = cache.Invalid
@@ -516,6 +527,7 @@ func (s *System) insertLine(c *coreState, core int, ln cache.Line) sim.Time {
 				c.alerts.Enqueue(sp.Tag)
 				s.stats.Alerts++
 				s.tel.Inc(core, telemetry.CtrAlert)
+				s.fl.Rec(core, s.now, flight.AOUAlert, -1, 0, sp.Tag)
 			}
 		}
 		switch sp.State {
@@ -538,6 +550,7 @@ func (s *System) insertLine(c *coreState, core int, ln cache.Line) sim.Time {
 			lat += s.cfg.OTAccess
 			s.stats.Overflows++
 			s.tel.Inc(core, telemetry.CtrOTSpill)
+			s.fl.Rec(core, s.now, flight.OTSpill, -1, 0, sp.Tag)
 		}
 	}
 	return lat

@@ -23,6 +23,7 @@ import (
 	"flextm/internal/cache"
 	"flextm/internal/cst"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/memory"
 	"flextm/internal/overflow"
 	"flextm/internal/signature"
@@ -173,6 +174,14 @@ type System struct {
 	// call unconditionally).
 	tel *telemetry.Registry
 
+	// fl is the flight recorder; nil means disabled (flight.Recorder
+	// methods are nil-safe). now is the virtual time of the operation in
+	// progress, stamped at each public op's entry so interior protocol
+	// sites (probe, invalidateLine, insertLine) can timestamp records
+	// without threading a ctx through.
+	fl  *flight.Recorder
+	now sim.Time
+
 	// Summary signatures installed at the directory for descheduled
 	// transactions (Section 5), plus the handler the L2 traps into.
 	summaryR    *signature.Sig
@@ -244,6 +253,15 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 
 // Telemetry returns the attached registry (nil when telemetry is off).
 func (s *System) Telemetry() *telemetry.Registry { return s.tel }
+
+// SetFlight attaches (or, with nil, detaches) a flight recorder. The
+// machine records protocol-level events (CST sets, alerts, OT spills,
+// commit refusals) on it; the runtime layer adds transaction and
+// conflict-management events on the same recorder.
+func (s *System) SetFlight(r *flight.Recorder) { s.fl = r }
+
+// Flight returns the attached flight recorder (nil when disabled).
+func (s *System) Flight() *flight.Recorder { return s.fl }
 
 // SetFaultInjector attaches (or, with nil, detaches) a fault injector.
 // Attach before running transactions so the decision sequence — and with it

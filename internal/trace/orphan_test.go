@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// truncatedStream is a stream whose prefix was lost: commits and aborts
+// arrive for cores that never (visibly) began, alongside one well-formed
+// transaction and one attempt that never resolves.
+func truncatedStream() []Event {
+	return []Event{
+		{At: 10, Core: 1, Kind: Commit, Enemy: -1}, // orphan: Begin was truncated away
+		{At: 12, Core: 2, Kind: Abort, Enemy: -1},  // orphan
+		{At: 20, Core: 0, Kind: Begin, Enemy: -1},
+		{At: 25, Core: 0, Kind: ConflictAbortEnemy, Enemy: 3},
+		{At: 28, Core: 3, Kind: Begin, Enemy: -1}, // never resolves
+		{At: 30, Core: 0, Kind: Commit, Enemy: -1},
+	}
+}
+
+func TestSummarizeReportsOrphansOnTruncatedStream(t *testing.T) {
+	rec := NewRecorder()
+	for _, e := range truncatedStream() {
+		rec.Add(e)
+	}
+	s := rec.Summarize()
+	if s.Commits != 1 || s.Aborts != 0 {
+		t.Fatalf("commits/aborts = %d/%d, want 1/0 (orphans must not count)", s.Commits, s.Aborts)
+	}
+	if got := s.Orphans[Commit]; got != 1 {
+		t.Fatalf("orphan commits = %d, want 1", got)
+	}
+	if got := s.Orphans[Abort]; got != 1 {
+		t.Fatalf("orphan aborts = %d, want 1", got)
+	}
+	if s.OpenAtEnd != 1 {
+		t.Fatalf("OpenAtEnd = %d, want 1 (core 3's unresolved Begin)", s.OpenAtEnd)
+	}
+	if len(s.AttemptCycles) != 1 || s.AttemptCycles[0] != 10 {
+		t.Fatalf("AttemptCycles = %v, want [10]", s.AttemptCycles)
+	}
+
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "orphan") {
+		t.Fatalf("Print does not warn about orphans:\n%s", out)
+	}
+	if !strings.Contains(out, "open at end") {
+		t.Fatalf("Print does not warn about unresolved transactions:\n%s", out)
+	}
+}
+
+func TestWriteChromeTruncatedStreamShowsOrphans(t *testing.T) {
+	doc := exportChrome(t, truncatedStream())
+	count := func(name string) int {
+		n := 0
+		for _, e := range doc.TraceEvents {
+			if e.Name == name {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count("orphan-commit"); got != 1 {
+		t.Fatalf("orphan-commit markers = %d, want 1", got)
+	}
+	if got := count("orphan-abort"); got != 1 {
+		t.Fatalf("orphan-abort markers = %d, want 1", got)
+	}
+	// Core 3's unterminated attempt is drawn to the last timestamp.
+	if got := count("unfinished"); got != 1 {
+		t.Fatalf("unfinished spans = %d, want 1", got)
+	}
+	// And the well-formed transaction still renders normally.
+	if got := count("commit"); got != 1 {
+		t.Fatalf("commit spans = %d, want 1", got)
+	}
+}
