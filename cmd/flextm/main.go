@@ -7,6 +7,16 @@
 //	flextm -workload LFUCache -threads 16 -profile
 //	flextm -workload RBTree -profile -profile-dot graph.dot -profile-json profile.json
 //	flextm -list
+//
+// Serializability oracle (internal/oracle + internal/stress):
+//
+//	flextm -workload RBTree -oracle            oracle-check the workload run
+//	flextm -stress 32 -seed 1                  explore 32 stress seeds
+//	flextm -stress 8 -broken                   broken protocol: must fail
+//	flextm -schedule 's1,t2,r3,o1,a2,lazy'     replay one stress schedule
+//
+// Stress and replay runs exit non-zero on any serializability violation
+// (unless -broken asked for one, where finding it is the success).
 package main
 
 import (
@@ -16,8 +26,10 @@ import (
 	"os"
 
 	"flextm/internal/conflictgraph"
+	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/harness"
+	"flextm/internal/stress"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
 	"flextm/internal/workloads"
@@ -38,6 +50,11 @@ func main() {
 	profile := flag.Bool("profile", false, "record a flight-recorder history and print the conflict-graph contention profile")
 	profileDOT := flag.String("profile-dot", "", "write the conflict graph in Graphviz DOT form to FILE (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the full conflict-graph report as JSON to FILE (implies -profile)")
+	oracleOn := flag.Bool("oracle", false, "attach the serializability oracle to the run and print its verdict (FlexTM systems)")
+	stressN := flag.Int("stress", 0, "run N seeds of the oracle-checked stress explorer instead of a workload")
+	seed := flag.Uint64("seed", 1, "base seed for -stress")
+	broken := flag.Bool("broken", false, "with -stress: disable the commit-time W-R aborts (the oracle must catch the break)")
+	schedule := flag.String("schedule", "", "replay one stress schedule string (as printed by -stress failures)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 	if *profileDOT != "" || *profileJSON != "" {
@@ -48,6 +65,14 @@ func main() {
 		for _, f := range workloads.All() {
 			fmt.Println(f.Name)
 		}
+		return
+	}
+	if *schedule != "" {
+		replaySchedule(*schedule)
+		return
+	}
+	if *stressN > 0 {
+		runStress(*stressN, *seed, *system, *faults, *faultSeed, *broken)
 		return
 	}
 
@@ -83,6 +108,7 @@ func main() {
 		Metrics:      *metrics,
 		Flight:       *profile,
 		Faults:       faultCfg,
+		Oracle:       *oracleOn,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flextm:", err)
@@ -146,6 +172,78 @@ func main() {
 			}
 			fmt.Printf("profile     -> %s\n", *profileJSON)
 		}
+	}
+	if rep := res.OracleReport; rep != nil {
+		fmt.Println("-- serializability oracle --")
+		rep.Print(os.Stdout)
+		if !rep.Ok() {
+			os.Exit(1)
+		}
+	} else if *oracleOn {
+		fmt.Fprintf(os.Stderr, "flextm: -oracle ignored: %s is not a FlexTM runtime\n", *system)
+	}
+}
+
+// runStress sweeps the oracle-checked schedule explorer. In normal runs any
+// failure exits non-zero after shrinking it to a minimal replayable
+// schedule; with broken=true the logic inverts — the protocol is
+// deliberately damaged, and NOT detecting a violation is the failure.
+func runStress(n int, seed uint64, system, faults string, faultSeed uint64, broken bool) {
+	base := stress.DefaultConfig(seed)
+	if harness.SystemName(system) == harness.FlexTMEager {
+		base.Mode = core.Eager
+	}
+	base.BreakWR = broken
+	base.TinyCache = true
+	if faults != "" {
+		fc, err := fault.ParseSpec(faults, faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(2)
+		}
+		base.Faults = fc
+	}
+	fmt.Printf("stress      %d seeds from %d, mode %s, broken=%v\n", n, seed, base.Mode, broken)
+	res := stress.Explore(base, n)
+	fmt.Printf("explored    %d runs, %d failures\n", res.Runs, len(res.Failures))
+	if len(res.Failures) == 0 {
+		if broken {
+			fmt.Fprintln(os.Stderr, "flextm: broken protocol variant escaped the oracle")
+			os.Exit(1)
+		}
+		return
+	}
+	shrunk := stress.Shrink(res.Failures[0].Config, 64)
+	fmt.Printf("schedule    %s (shrunk from %s)\n", shrunk.Schedule, res.Failures[0].Schedule)
+	if shrunk.RunErr != "" {
+		fmt.Println("run error  ", shrunk.RunErr)
+	}
+	if shrunk.Report != nil {
+		shrunk.Report.Print(os.Stdout)
+	}
+	if !broken {
+		os.Exit(1)
+	}
+}
+
+// replaySchedule re-runs one stress schedule string and prints its verdict.
+func replaySchedule(s string) {
+	cfg, err := stress.ParseSchedule(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(2)
+	}
+	out := stress.Run(cfg)
+	fmt.Printf("schedule    %s\ncommits     %d\naborts      %d\nescalations %d\ninjected    %d\ncycles      %d\n",
+		out.Schedule, out.Commits, out.Aborts, out.Escalations, out.Injected, out.Cycles)
+	if out.RunErr != "" {
+		fmt.Println("run error  ", out.RunErr)
+	}
+	if out.Report != nil {
+		out.Report.Print(os.Stdout)
+	}
+	if out.Failed() {
+		os.Exit(1)
 	}
 }
 

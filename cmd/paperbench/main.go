@@ -6,6 +6,8 @@
 //	paperbench -fig 5mp       Figure 5e,f (multiprogramming with Prime)
 //	paperbench -fig overflow  Section 7.3 overflow/victim-buffer ablation
 //	paperbench -fig chaos     fault-injection campaign (robustness, not in paper)
+//	paperbench -fig oracle    serializability oracle: clean sweep must pass,
+//	                          broken W-R variant must be caught (not in paper)
 //	paperbench -table 2       Table 2 (area estimation)
 //	paperbench -table 4       Table 4b (FlexWatcher slowdowns)
 //	paperbench -all           everything
@@ -40,8 +42,11 @@ import (
 	"flextm/internal/area"
 	"flextm/internal/benchfmt"
 	"flextm/internal/conflictgraph"
+	"flextm/internal/core"
+	"flextm/internal/fault"
 	"flextm/internal/flexwatcher"
 	"flextm/internal/harness"
+	"flextm/internal/stress"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -53,7 +58,7 @@ import (
 var out io.Writer = os.Stdout
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos")
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos, oracle")
 	table := flag.String("table", "", "table to regenerate: 2, 4")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
@@ -163,6 +168,10 @@ func main() {
 	if *all || *fig == "chaos" {
 		ran = true
 		chaosCampaign(*quick, *jsonOut, enc)
+	}
+	if *all || *fig == "oracle" {
+		ran = true
+		oracleSweep(*quick)
 	}
 	if *all || *table == "2" {
 		ran = true
@@ -461,6 +470,75 @@ func chaosCampaign(quick, jsonOut bool, enc *json.Encoder) {
 	fmt.Fprintln(out)
 	if !res.Ok() {
 		fatal(fmt.Errorf("chaos campaign: %d invariant violations", res.Violations))
+	}
+}
+
+// oracleSweep is the serializability acceptance gate. Phase 1: a bounded
+// seed sweep of the schedule explorer — both conflict-management modes, all
+// seven fault classes, tiny cache forcing overflow-table commits — where the
+// unmodified protocol must produce only serializable histories. Phase 2 is
+// the sensitivity check: the same explorer over the intentionally broken
+// variant (commit-time W-R aborts disabled, Figure 3 line 2 skipped) must
+// detect a violation and shrink it to a minimal replayable schedule. A
+// passing phase 2 is what certifies that phase 1's silence means something.
+func oracleSweep(quick bool) {
+	seeds := 16
+	if quick {
+		seeds = 4
+	}
+	fmt.Fprintln(out, "== Oracle: serializability under schedule exploration ==")
+	var fc fault.Config
+	for cl := fault.Class(0); cl < fault.NumClasses; cl++ {
+		fc = fc.WithRate(cl, 0.05)
+	}
+	failed := false
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		base := stress.DefaultConfig(1)
+		base.Mode = mode
+		base.TinyCache = true
+		base.Faults = fc
+		res := stress.Explore(base, seeds)
+		verdict := "ok"
+		if len(res.Failures) > 0 {
+			failed = true
+			verdict = fmt.Sprintf("%d FAILURES", len(res.Failures))
+		}
+		fmt.Fprintf(out, "%-8s %3d seeds x 7 fault classes: %s\n", mode, res.Runs, verdict)
+		for _, f := range res.Failures {
+			shrunk := stress.Shrink(f.Config, 64)
+			fmt.Fprintf(out, "  schedule %s (shrunk from %s)\n", shrunk.Schedule, f.Schedule)
+			if shrunk.RunErr != "" {
+				fmt.Fprintln(out, "  run error:", shrunk.RunErr)
+			}
+			if shrunk.Report != nil {
+				shrunk.Report.Print(out)
+			}
+		}
+	}
+
+	// Sensitivity: the broken variant must be caught.
+	base := stress.DefaultConfig(1)
+	base.Mode = core.Lazy
+	base.BreakWR = true
+	res := stress.Explore(base, 8)
+	if len(res.Failures) == 0 {
+		failed = true
+		fmt.Fprintln(out, "broken W-R variant: NOT DETECTED (oracle is blind)")
+	} else {
+		shrunk := stress.Shrink(res.Failures[0].Config, 64)
+		fmt.Fprintf(out, "broken W-R variant: detected in %d/%d seeds; shrunk witness %s\n",
+			len(res.Failures), res.Runs, shrunk.Schedule)
+		if shrunk.Report != nil {
+			shrunk.Report.Print(out)
+		}
+		if !shrunk.Failed() {
+			failed = true
+			fmt.Fprintln(out, "broken W-R variant: shrink lost the failure")
+		}
+	}
+	fmt.Fprintln(out)
+	if failed {
+		fatal(fmt.Errorf("oracle sweep failed"))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"flextm/internal/cm"
 	"flextm/internal/flight"
 	"flextm/internal/memory"
+	"flextm/internal/oracle"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
@@ -162,6 +163,17 @@ type Runtime struct {
 	// machine writes itself.
 	fl *flight.Recorder
 
+	// orc is the serializability oracle's operation-log recorder (nil when
+	// the oracle is off; every call site is nil-safe). It logs the values
+	// application code actually observed and stored, so the offline checker
+	// can reconstruct the direct serialization graph of the run.
+	orc *oracle.Recorder
+
+	// wrAborts gates the commit-time abort of W-R-named enemies (Figure 3,
+	// line 2). Always true in a correct protocol; the oracle's stress suite
+	// turns it off to prove the checker detects the resulting lost updates.
+	wrAborts bool
+
 	// OnFlightDump, if set, receives a snapshot of the flight recorder the
 	// first time any core's liveness watchdog trips — the moment the run is
 	// known to be pathological — so the contention history leading up to the
@@ -190,6 +202,7 @@ func New(sys *tmesi.System, mode Mode, mgr cm.Manager) *Runtime {
 		live:      DefaultLiveness(),
 		tel:       sys.Telemetry(),
 		fl:        sys.Flight(),
+		wrAborts:  true,
 	}
 	rt.tswTable = sys.Alloc().Alloc(cores * memory.LineWords)
 	for c := 0; c < cores; c++ {
@@ -232,6 +245,21 @@ func (rt *Runtime) SetLiveness(l Liveness) { rt.live = l }
 
 // Liveness returns the current watchdog budgets.
 func (rt *Runtime) Liveness() Liveness { return rt.live }
+
+// SetOracle attaches (or detaches, with nil) a serializability-oracle
+// recorder. The runtime then logs every transactional operation with the
+// value observed or stored; see internal/oracle.
+func (rt *Runtime) SetOracle(r *oracle.Recorder) { rt.orc = r }
+
+// Oracle returns the attached oracle recorder (nil when the oracle is off).
+func (rt *Runtime) Oracle() *oracle.Recorder { return rt.orc }
+
+// SetWRAborts toggles the commit-time abort of enemies named by the
+// committer's W-R CST (Figure 3, line 2). Disabling it deliberately breaks
+// the protocol — committers spare transactions that read their old values,
+// which then commit on stale data. It exists solely as the intentionally
+// broken variant the serializability oracle must catch; see internal/stress.
+func (rt *Runtime) SetWRAborts(on bool) { rt.wrAborts = on }
 
 // SetSigScreen toggles the commit-time signature screen: before aborting an
 // enemy processor, verify its current (software-visible) signatures still

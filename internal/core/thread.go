@@ -49,6 +49,7 @@ func (th *Thread) Work(d sim.Time) { th.ctx.Advance(d) }
 // Load implements tmapi.Thread: an ordinary, non-transactional load.
 func (th *Thread) Load(a memory.Addr) uint64 {
 	v := th.rt.sys.Load(th.ctx, th.core, a).Val
+	th.rt.orc.NTRead(th.core, th.ctx.Now(), a, v)
 	th.checkAlert()
 	return v
 }
@@ -56,6 +57,7 @@ func (th *Thread) Load(a memory.Addr) uint64 {
 // Store implements tmapi.Thread: an ordinary, non-transactional store.
 func (th *Thread) Store(a memory.Addr, v uint64) {
 	th.rt.sys.Store(th.ctx, th.core, a, v)
+	th.rt.orc.NTWrite(th.core, th.ctx.Now(), a, v)
 	th.checkAlert()
 }
 
@@ -212,6 +214,9 @@ func (th *Thread) begin(stamp uint64) {
 	th.ctx.Advance(rt.costs.Begin)
 	th.emit(trace.Begin, -1)
 	rt.fl.Rec(th.core, th.ctx.Now(), flight.TxnBegin, -1, 0, 0)
+	// Record the begin before the alert poll below: if the poll aborts us,
+	// the oracle must still see a begin/abort pair, not an orphan abort.
+	rt.orc.Begin(th.core, th.ctx.Now())
 	// A strong-isolation abort can race with begin; surface it now.
 	th.checkAlert()
 }
@@ -222,6 +227,7 @@ func (th *Thread) onAbort() {
 	sys := th.rt.sys
 	th.emit(trace.Abort, -1)
 	th.rt.fl.Rec(th.core, th.ctx.Now(), flight.TxnAbort, -1, 0, 0)
+	th.rt.orc.Abort(th.core, th.ctx.Now())
 	debugf("t=%d c=%d ABORT", th.ctx.Now(), th.core)
 	th.d.live = false
 	if sys.TxnActive(th.core) {
@@ -288,6 +294,10 @@ func (t txnView) Load(a memory.Addr) uint64 {
 	th := t.th
 	res := th.rt.sys.TLoad(th.ctx, th.core, a)
 	debugf("t=%d c=%d TLoad %d = %d conf=%v", th.ctx.Now(), th.core, a, res.Val, res.Conflicts)
+	// Record before the alert poll: the observed value belongs to this
+	// attempt even if the poll aborts it (aborted reads are discarded by
+	// the checker but keep the log structurally complete).
+	th.rt.orc.Read(th.core, th.ctx.Now(), a, res.Val)
 	th.d.karma++
 	th.checkAlert()
 	if th.rt.mode == Eager && len(res.Conflicts) > 0 {
@@ -301,6 +311,7 @@ func (t txnView) Store(a memory.Addr, v uint64) {
 	th := t.th
 	res := th.rt.sys.TStore(th.ctx, th.core, a, v)
 	debugf("t=%d c=%d TStore %d <- %d conf=%v", th.ctx.Now(), th.core, a, v, res.Conflicts)
+	th.rt.orc.Write(th.core, th.ctx.Now(), a, v)
 	th.d.karma++
 	th.checkAlert()
 	if th.rt.mode == Eager && len(res.Conflicts) > 0 {
@@ -445,6 +456,12 @@ func (th *Thread) commit() {
 		}
 		rw := *table.Get(cst.RW)
 		enemies := wr | ww
+		if !rt.wrAborts {
+			// Broken-protocol variant for the serializability oracle: spare
+			// the transactions that read our old values (W-R), aborting only
+			// rival writers (W-W). The spared readers commit on stale data.
+			enemies = ww
+		}
 		for _, e := range enemies.Procs() {
 			resolved.Set(e)
 			// Signature screen: CST bits name processors, so a bit may
@@ -472,6 +489,11 @@ func (th *Thread) commit() {
 		switch out {
 		case tmesi.CommitOK:
 			th.d.live = false
+			// Record before any further time advances (the W-R scrub below
+			// charges cycles, yielding the engine to other threads): the
+			// commit's sequence stamp must precede every operation that can
+			// observe its writes.
+			rt.orc.Commit(th.core, th.ctx.Now())
 			th.emit(trace.Commit, -1)
 			var fb uint8
 			if th.inFallback {
@@ -559,10 +581,13 @@ func (th *Thread) ClosedNested(body func(tx tmapi.Txn)) {
 			return
 		}
 		// Inner-only rollback: restore the old speculative values in
-		// reverse write order, then retry the inner body.
+		// reverse write order, then retry the inner body. The restores are
+		// real speculative stores (they bypass txnView), so the oracle must
+		// see them or the committed final values would look wrong.
 		for i := len(inner.order) - 1; i >= 0; i-- {
 			a := inner.order[i]
 			th.rt.sys.TStore(th.ctx, th.core, a, inner.old[a])
+			th.rt.orc.Write(th.core, th.ctx.Now(), a, inner.old[a])
 		}
 		th.ctx.Advance(th.rt.costs.AbortWork)
 	}

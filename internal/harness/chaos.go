@@ -10,6 +10,7 @@ import (
 	"flextm/internal/fault"
 	"flextm/internal/flight"
 	"flextm/internal/memory"
+	"flextm/internal/oracle"
 	"flextm/internal/osmodel"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -41,6 +42,11 @@ type ChaosSpec struct {
 	// driver rolls the Preempt class and, on a hit, suspends a victim core
 	// for an injector-chosen hold time.
 	Quantum sim.Time
+	// Oracle runs every cell with the serializability oracle attached and
+	// counts history violations alongside the chaos invariants. On by
+	// default (DefaultChaosSpec): the fault campaign is exactly where
+	// serializability violations would hide.
+	Oracle bool
 }
 
 // DefaultChaosSpec covers every fault class at a low and at the acceptance
@@ -57,6 +63,7 @@ func DefaultChaosSpec() ChaosSpec {
 		Seed:     1,
 		Liveness: core.Liveness{MaxConsecAborts: 8, MaxStallCycles: 2_000_000, MaxCommitRetries: 16},
 		Quantum:  3000,
+		Oracle:   true,
 	}
 }
 
@@ -125,6 +132,11 @@ func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mod
 	sys.SetFlight(flight.New(spec.Threads, 0))
 	rt := core.New(sys, mode, cm.NewPolka())
 	rt.SetLiveness(spec.Liveness)
+	var orc *oracle.Recorder
+	if spec.Oracle {
+		orc = oracle.NewRecorder()
+		rt.SetOracle(orc)
+	}
 	// Mix the class into the seed so cells draw independent schedules even
 	// for the same spec seed.
 	inj := fault.NewInjector(fault.Config{Seed: spec.Seed*0x9E37 + uint64(class) + 1}.WithRate(class, rate))
@@ -135,8 +147,12 @@ func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mod
 	cellAddr := func(i int) memory.Addr { return base + memory.Addr(i*memory.LineWords) }
 	for i := 0; i < cells; i++ {
 		sys.Image().WriteWord(cellAddr(i), spec.Initial)
+		orc.SetInitial(cellAddr(i), spec.Initial)
 	}
 	private := sys.Alloc().Alloc(spec.Threads * memory.LineWords)
+	for id := 0; id < spec.Threads; id++ {
+		orc.SetInitial(private+memory.Addr(id*memory.LineWords), 0)
+	}
 
 	e := sim.NewEngine()
 	var badSum bool
@@ -182,6 +198,16 @@ func runChaosCell(spec ChaosSpec, class fault.Class, rate float64, mode core.Mod
 		p := private + memory.Addr(id*memory.LineWords)
 		if got := sys.ReadWordRaw(p); got != privWrites[id] {
 			fail("isolation: private slot %d = %d, want %d", id, got, privWrites[id])
+		}
+	}
+	// Invariant 4: the committed history is serializable (oracle verdict).
+	if orc != nil {
+		rep := oracle.Check(orc.History(), oracle.Options{})
+		for _, v := range rep.Violations {
+			fail("serializability: [%s] %s", v.Kind, v.Summary)
+		}
+		if extra := rep.TotalViolations - len(rep.Violations); extra > 0 {
+			fail("serializability: %d further violations beyond the witness cap", extra)
 		}
 	}
 

@@ -17,6 +17,7 @@ import (
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/flight"
+	"flextm/internal/oracle"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
@@ -107,6 +108,10 @@ type RunConfig struct {
 	// Liveness, if non-nil, overrides the FlexTM watchdog budgets (other
 	// runtimes ignore it).
 	Liveness *core.Liveness
+	// Oracle attaches the serializability oracle (FlexTM systems only): the
+	// run's operation log is checked offline and the verdict returned in
+	// Result.OracleReport. Off by default — recording grows with the run.
+	Oracle bool
 }
 
 // DefaultOps is the per-thread operation count used by the paper-replica
@@ -154,6 +159,12 @@ type Result struct {
 	// FaultReport summarizes injected faults; nil unless RunConfig.Faults
 	// enabled any class.
 	FaultReport *fault.Report
+
+	// OracleReport is the serializability verdict over the run's operation
+	// log; nil unless RunConfig.Oracle was set on a FlexTM system. A run
+	// with violations is returned (not errored) so callers can print the
+	// witness histories before deciding to fail.
+	OracleReport *oracle.Report
 }
 
 // Run executes one configuration and returns its result.
@@ -189,6 +200,7 @@ func Run(rc RunConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var orc *oracle.Recorder
 	if fx, ok := rt.(*core.Runtime); ok {
 		if rc.YieldTo != nil {
 			fx.OnAbortYield = func(th *core.Thread) { rc.YieldTo(th) }
@@ -196,6 +208,10 @@ func Run(rc RunConfig) (Result, error) {
 		fx.Tracer = rc.Tracer
 		if rc.Liveness != nil {
 			fx.SetLiveness(*rc.Liveness)
+		}
+		if rc.Oracle {
+			orc = oracle.NewRecorder()
+			fx.SetOracle(orc)
 		}
 	}
 	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
@@ -244,6 +260,9 @@ func Run(rc RunConfig) (Result, error) {
 	if inj != nil {
 		rep := inj.Report()
 		res.FaultReport = &rep
+	}
+	if orc != nil {
+		res.OracleReport = oracle.Check(orc.History(), oracle.Options{})
 	}
 	// System throughput: all timed transactions over the global window in
 	// which they executed (first thread's timed start to last thread's

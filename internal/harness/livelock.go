@@ -9,6 +9,7 @@ import (
 	"flextm/internal/fault"
 	"flextm/internal/flight"
 	"flextm/internal/memory"
+	"flextm/internal/oracle"
 	"flextm/internal/sim"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
@@ -48,6 +49,10 @@ func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) 
 	sys.SetFaultInjector(inj)
 
 	rt := core.New(sys, core.Eager, cm.Aggressive{})
+	// The probe runs oracle-checked: a livelock broken only by escalation is
+	// exactly the kind of run where a serialization bug would hide.
+	orc := oracle.NewRecorder()
+	rt.SetOracle(orc)
 	// Tight watchdog: the duel must trip it quickly, and escalation bounds
 	// the run. Commit retries stay bounded too in case the duel shifts to
 	// commit-time refusals.
@@ -62,6 +67,8 @@ func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) 
 
 	lineA := sys.Alloc().Alloc(memory.LineWords)
 	lineB := sys.Alloc().Alloc(memory.LineWords)
+	orc.SetInitial(lineA, 0)
+	orc.SetInitial(lineB, 0)
 
 	const rounds = 40
 	e := sim.NewEngine()
@@ -105,6 +112,10 @@ func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) 
 	rep := conflictgraph.Analyze(recs, conflictgraph.Options{Cores: cfg.Cores})
 	if got, want := sys.ReadWordRaw(lineA)+sys.ReadWordRaw(lineB), uint64(2*2*rounds); got != want {
 		return rep, out, fmt.Errorf("livelock probe: line sum = %d, want %d", got, want)
+	}
+	if orep := oracle.Check(orc.History(), oracle.Options{}); !orep.Ok() {
+		return rep, out, fmt.Errorf("livelock probe: %d serializability violations ([%s] %s)",
+			orep.TotalViolations, orep.Violations[0].Kind, orep.Violations[0].Summary)
 	}
 	return rep, out, nil
 }

@@ -1,0 +1,163 @@
+package stress
+
+import (
+	"bytes"
+	"testing"
+
+	"flextm/internal/core"
+	"flextm/internal/fault"
+)
+
+// allFaults returns a config with every fault class enabled at rate.
+func allFaults(rate float64) fault.Config {
+	var fc fault.Config
+	for cl := fault.Class(0); cl < fault.NumClasses; cl++ {
+		fc = fc.WithRate(cl, rate)
+	}
+	return fc
+}
+
+// TestCleanSweepBothModes is the acceptance sweep: the unmodified protocol
+// must pass the oracle under both conflict-management modes with all seven
+// fault classes enabled, across a spread of seeds, with the tiny cache
+// forcing TMI evictions into the overflow table at commit.
+func TestCleanSweepBothModes(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
+		t.Run(mode.String(), func(t *testing.T) {
+			base := DefaultConfig(1)
+			base.Mode = mode
+			base.TinyCache = true
+			base.Faults = allFaults(0.05)
+			res := Explore(base, seeds)
+			for _, f := range res.Failures {
+				var buf bytes.Buffer
+				if f.Report != nil {
+					f.Report.Print(&buf)
+				}
+				t.Errorf("schedule %s failed: runErr=%q\n%s", f.Schedule, f.RunErr, buf.String())
+			}
+			if res.Runs != seeds {
+				t.Fatalf("ran %d seeds, want %d", res.Runs, seeds)
+			}
+		})
+	}
+}
+
+// TestBrokenVariantDetectedAndShrunk is the negative acceptance probe: with
+// the W-R commit aborts disabled (Figure 3, line 2 skipped), the explorer
+// must find a serializability violation, and Shrink must reduce it to a
+// smaller replayable schedule whose oracle report carries a witness.
+func TestBrokenVariantDetectedAndShrunk(t *testing.T) {
+	base := DefaultConfig(1)
+	base.Mode = core.Lazy
+	base.BreakWR = true
+	res := Explore(base, 8)
+	if len(res.Failures) == 0 {
+		t.Fatal("explorer missed the disabled-W-R protocol break across 8 seeds")
+	}
+	first := res.Failures[0]
+	if first.Report == nil || first.Report.Ok() {
+		t.Fatalf("failure without oracle violations: %+v", first.RunErr)
+	}
+
+	shrunk := Shrink(first.Config, 48)
+	if !shrunk.Failed() {
+		t.Fatal("shrink lost the failure")
+	}
+	if shrunk.Report == nil || len(shrunk.Report.Violations) == 0 {
+		t.Fatal("shrunk outcome has no materialized witness")
+	}
+	w := shrunk.Report.Violations[0]
+	if len(w.Witness) == 0 {
+		t.Fatalf("violation %q has an empty witness history", w.Kind)
+	}
+	// The shrunk config must not be larger than the original in any axis.
+	a, b := shrunk.Config, first.Config
+	if a.Threads > b.Threads || a.Rounds > b.Rounds || a.Accounts > b.Accounts || a.OpsPerTxn > b.OpsPerTxn {
+		t.Fatalf("shrink grew the config: %+v -> %+v", b, a)
+	}
+	t.Logf("shrunk schedule: %s (%d violations)", shrunk.Schedule, shrunk.Report.TotalViolations)
+
+	// The schedule string must replay to the same verdict.
+	cfg, err := ParseSchedule(shrunk.Schedule)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", shrunk.Schedule, err)
+	}
+	replay := Run(cfg)
+	if !replay.Failed() {
+		t.Fatalf("replayed schedule %q did not fail", shrunk.Schedule)
+	}
+	if replay.Report.TotalViolations != shrunk.Report.TotalViolations {
+		t.Fatalf("replay found %d violations, original %d",
+			replay.Report.TotalViolations, shrunk.Report.TotalViolations)
+	}
+}
+
+// TestRunDeterministic: identical configs must yield bit-identical
+// outcomes; the replay contract rests on it.
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig(42)
+	cfg.Faults = allFaults(0.08)
+	cfg.TinyCache = true
+	a, b := Run(cfg), Run(cfg)
+	if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Cycles != b.Cycles ||
+		a.Injected != b.Injected || a.Escalations != b.Escalations {
+		t.Fatalf("non-deterministic run: %+v vs %+v", a, b)
+	}
+	if a.Report.TotalViolations != b.Report.TotalViolations {
+		t.Fatalf("non-deterministic verdict: %d vs %d",
+			a.Report.TotalViolations, b.Report.TotalViolations)
+	}
+}
+
+// TestScheduleRoundTrip: Schedule and ParseSchedule must invert each other
+// for representative configs.
+func TestScheduleRoundTrip(t *testing.T) {
+	cfgs := []Config{
+		DefaultConfig(7),
+		{Seed: 9, Threads: 3, Rounds: 10, OpsPerTxn: 2, Accounts: 4,
+			Mode: core.Eager, TinyCache: true, BreakWR: true, Quantum: 2500,
+			Faults: allFaults(0.025)},
+	}
+	for _, cfg := range cfgs {
+		s := cfg.Schedule()
+		back, err := ParseSchedule(s)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", s, err)
+		}
+		if back.Schedule() != s {
+			t.Fatalf("round trip drifted: %q -> %q", s, back.Schedule())
+		}
+	}
+	if _, err := ParseSchedule(""); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := ParseSchedule("s1,zork"); err == nil {
+		t.Fatal("junk token accepted")
+	}
+	if _, err := ParseSchedule("s1,f:no-such-class:10"); err == nil {
+		t.Fatal("unknown fault class accepted")
+	}
+}
+
+// TestPreemptStormOracleChecked: the OS preemption storm (suspend/resume
+// with summary-signature arbitration) must preserve serializability.
+func TestPreemptStormOracleChecked(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Mode = core.Lazy
+	cfg.Faults = fault.Config{}.WithRate(fault.Preempt, 0.3)
+	cfg.Quantum = 1500
+	out := Run(cfg)
+	if out.Failed() {
+		var buf bytes.Buffer
+		out.Report.Print(&buf)
+		t.Fatalf("preempt storm broke the run: %s\n%s", out.RunErr, buf.String())
+	}
+	if out.Injected == 0 {
+		t.Fatal("storm injected nothing; the schedule never preempted")
+	}
+}
