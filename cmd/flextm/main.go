@@ -8,6 +8,17 @@
 //	flextm -workload RBTree -profile -profile-dot graph.dot -profile-json profile.json
 //	flextm -list
 //
+// Live observation (internal/observatory):
+//
+//	flextm -workload RBTree -threads 16 -http :8080    serve /metrics, /snapshot.json,
+//	                                                   /conflictgraph.dot, /flight, pprof
+//	flextm -workload RBTree -threads 16 -watch         one line per interval + sparklines
+//	flextm -livelock -watch                            watch an abort cycle surface live
+//
+// When an observed run (or one writing artifacts) receives SIGINT/SIGQUIT,
+// the next pump tick flushes partial artifacts — flight-recorder profile,
+// telemetry tables, the Chrome trace written so far — before exiting 130.
+//
 // Serializability oracle (internal/oracle + internal/stress):
 //
 //	flextm -workload RBTree -oracle            oracle-check the workload run
@@ -24,11 +35,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"flextm/internal/conflictgraph"
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/harness"
+	"flextm/internal/observatory"
+	"flextm/internal/sim"
 	"flextm/internal/stress"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -56,6 +72,11 @@ func main() {
 	broken := flag.Bool("broken", false, "with -stress: disable the commit-time W-R aborts (the oracle must catch the break)")
 	schedule := flag.String("schedule", "", "replay one stress schedule string (as printed by -stress failures)")
 	list := flag.Bool("list", false, "list workloads and exit")
+	httpAddr := flag.String("http", "", "serve the live observatory on ADDR (e.g. :8080): /metrics, /snapshot.json, /conflictgraph.dot, /flight, /debug/pprof/")
+	watch := flag.Bool("watch", false, "print one digest line per sampling interval, with sparkline trends and live pathology flags")
+	obsInterval := flag.Uint64("obs-interval", 0, "observation sampling interval in simulated cycles (0 = auto)")
+	linger := flag.Duration("linger", 0, "keep the -http server up for DUR after the run ends (scrape window)")
+	livelock := flag.Bool("livelock", false, "run the dueling-livelock probe instead of a workload (pairs with -watch)")
 	flag.Parse()
 	if *profileDOT != "" || *profileJSON != "" {
 		*profile = true
@@ -73,6 +94,87 @@ func main() {
 	}
 	if *stressN > 0 {
 		runStress(*stressN, *seed, *system, *faults, *faultSeed, *broken)
+		return
+	}
+
+	// Observation plane. The pump is created whenever there is something to
+	// observe or something to flush on interrupt; it rides the simulation as
+	// its own thread (harness.RunConfig.Observe), so sampling is
+	// deterministic and cannot perturb the run.
+	obsOn := *httpAddr != "" || *watch || *livelock || *metrics || *profile || *traceOut != ""
+	var (
+		bus            *observatory.Bus
+		pump           *observatory.Pump
+		flushArtifacts func(*observatory.Frame)
+	)
+	if obsOn {
+		bus = observatory.NewBus()
+		iv := sim.Time(*obsInterval)
+		if iv == 0 {
+			iv = observatory.DefaultInterval
+			if *livelock {
+				// The duel lives and dies within a few tens of thousands of
+				// cycles; sample finely enough to catch the cycle forming.
+				iv = 1000
+			}
+		}
+		pump = observatory.NewPump(observatory.Config{
+			Interval: iv,
+			Bus:      bus,
+			OnFlush: func(fr *observatory.Frame) {
+				fmt.Fprintln(os.Stderr, "\nflextm: interrupted — flushing partial artifacts")
+				if flushArtifacts != nil {
+					flushArtifacts(fr)
+				}
+				os.Exit(130)
+			},
+		})
+		// SIGINT/SIGQUIT: ask the pump to flush on its next tick, which runs
+		// inside the simulation — the only place artifacts can be written
+		// without racing the run. If the simulation is wedged and never
+		// ticks again, give up after a grace period.
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGQUIT)
+		go func() {
+			<-sigc
+			pump.RequestFlush()
+			time.Sleep(3 * time.Second)
+			fmt.Fprintln(os.Stderr, "flextm: no pump tick within 3s of the signal — exiting without flush")
+			os.Exit(130)
+		}()
+	}
+	var srv *observatory.Server
+	if *httpAddr != "" {
+		srv = observatory.NewServer(bus)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "observatory http://%s (/metrics /snapshot.json /conflictgraph.dot /flight /debug/pprof/)\n", addr)
+	}
+	var watchDone chan struct{}
+	if *watch {
+		ch, _ := bus.Subscribe(4096)
+		watchDone = make(chan struct{})
+		go func() {
+			observatory.NewWatcher(os.Stdout).Run(ch)
+			close(watchDone)
+		}()
+	}
+	lingerPhase := func() {
+		if srv == nil || *linger <= 0 {
+			return
+		}
+		signal.Reset(os.Interrupt, syscall.SIGQUIT)
+		fmt.Fprintf(os.Stderr, "observatory lingering %s for scrapes (Ctrl-C to exit)\n", *linger)
+		time.Sleep(*linger)
+		srv.Close()
+	}
+
+	if *livelock {
+		runLivelock(*seed, pump, watchDone)
+		lingerPhase()
 		return
 	}
 
@@ -97,6 +199,34 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// What an interrupted run leaves behind: the Chrome trace written so
+	// far, the telemetry tables, and the windowed contention profile (plus
+	// its DOT/JSON forms when those were requested). Runs inside the
+	// simulation via the pump's OnFlush, so nothing here races the workers.
+	flushArtifacts = func(fr *observatory.Frame) {
+		if *traceOut != "" && rec != nil {
+			if err := writeChromeTrace(*traceOut, rec); err == nil {
+				fmt.Fprintf(os.Stderr, "trace       partial -> %s\n", *traceOut)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "-- telemetry at interrupt --")
+		fr.Cum.Print(os.Stderr)
+		fr.Cum.PrintAttribution(os.Stderr)
+		if fr.Report != nil {
+			fmt.Fprintln(os.Stderr, "-- contention profile at interrupt (window) --")
+			fr.Report.Print(os.Stderr)
+			if *profileDOT != "" {
+				if err := writeDOT(*profileDOT, fr.Report); err == nil {
+					fmt.Fprintf(os.Stderr, "graph       partial -> %s\n", *profileDOT)
+				}
+			}
+			if *profileJSON != "" {
+				if err := writeReportJSON(*profileJSON, fr.Report); err == nil {
+					fmt.Fprintf(os.Stderr, "profile     partial -> %s\n", *profileJSON)
+				}
+			}
+		}
+	}
 	res, err := harness.Run(harness.RunConfig{
 		System:       harness.SystemName(*system),
 		Workload:     f,
@@ -109,11 +239,13 @@ func main() {
 		Flight:       *profile,
 		Faults:       faultCfg,
 		Oracle:       *oracleOn,
+		Observe:      pump,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flextm:", err)
 		os.Exit(1)
 	}
+	waitWatch(watchDone)
 
 	fmt.Printf("workload    %s\nsystem      %s\nthreads     %d\n", res.Workload, res.System, res.Threads)
 	fmt.Printf("commits     %d\naborts      %d (%.2f per commit)\n",
@@ -140,7 +272,9 @@ func main() {
 	fmt.Printf("machine     L1 %.1f%% hit, %d L2 misses, %d threatened, %d exposed-read, %d overflows, %d alerts\n",
 		100*float64(m.L1Hits)/float64(max(m.L1Hits+m.L1Misses, 1)),
 		m.L2Misses, m.ThreatenedResponses, m.ExposedReadResponses, m.Overflows, m.Alerts)
-	if res.Telemetry != nil {
+	// Gate on the flag, not the snapshot: an attached observatory forces
+	// telemetry on, and that must not change the default output.
+	if *metrics && res.Telemetry != nil {
 		fmt.Println("-- telemetry --")
 		res.Telemetry.Print(os.Stdout)
 		fmt.Println("-- cycle attribution --")
@@ -181,6 +315,39 @@ func main() {
 		}
 	} else if *oracleOn {
 		fmt.Fprintf(os.Stderr, "flextm: -oracle ignored: %s is not a FlexTM runtime\n", *system)
+	}
+	lingerPhase()
+}
+
+// waitWatch gives the watch goroutine a moment to drain its channel and
+// print the Final frame; the bus never blocks publishers, so the main
+// goroutine must not exit the instant the run does.
+func waitWatch(done chan struct{}) {
+	if done == nil {
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+}
+
+// runLivelock runs the dueling-livelock probe under the observation plane:
+// the classic demonstration that the watch mode flags an abort cycle while
+// the duel is still running, before the watchdog trips.
+func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}) {
+	rep, out, err := harness.ObservedLivelockProbe(seed, pump)
+	waitWatch(watchDone)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("livelock    commits %d, aborts %d, escalations %d (watchdog dump: %v)\n",
+		out.Commits, out.Aborts, out.Escalations, out.Dumped)
+	rep.Print(os.Stdout)
+	if !rep.Has(conflictgraph.AbortCycle) {
+		fmt.Fprintln(os.Stderr, "flextm: livelock probe did not produce an abort cycle")
+		os.Exit(1)
 	}
 }
 

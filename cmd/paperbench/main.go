@@ -25,9 +25,19 @@
 //	paperbench -compare OLD.json NEW.json
 //
 // flags regressions between two artifacts (throughput drops and abort-rate
-// growth beyond -threshold, and vanished cells), exiting non-zero when any
-// are found. CI records a quick-sweep artifact per change and compares it
-// against the checked-in baseline.
+// growth beyond -threshold, vanished cells, and schema version skew),
+// exiting non-zero when any are found; metrics recorded in only one of the
+// two artifacts are reported as gaps. CI records a quick-sweep artifact per
+// change and compares it against the checked-in baseline.
+//
+// Observation (internal/observatory): -http ADDR serves the live
+// observatory while the sweeps run, and
+//
+//	paperbench -quick -fig 4 -bench-out BENCH_pr.json -report report.html
+//
+// writes a self-contained HTML run report — per-interval time series,
+// conflict graph, pathology verdicts, telemetry tables, and (when the
+// -report-baseline artifact is readable) the BENCH comparison.
 package main
 
 import (
@@ -46,6 +56,8 @@ import (
 	"flextm/internal/fault"
 	"flextm/internal/flexwatcher"
 	"flextm/internal/harness"
+	"flextm/internal/observatory"
+	"flextm/internal/sim"
 	"flextm/internal/stress"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmesi"
@@ -71,6 +83,10 @@ func main() {
 	benchLabel := flag.String("bench-label", "", "free-form label stored in the -bench-out artifact")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json artifacts (paperbench -compare OLD NEW); exit non-zero on regressions")
 	threshold := flag.Float64("threshold", 0.10, "relative worsening tolerated by -compare before a cell is flagged")
+	httpAddr := flag.String("http", "", "serve the live observatory on ADDR while the sweeps run (/metrics, /snapshot.json, ...)")
+	obsInterval := flag.Uint64("obs-interval", 0, "observation sampling interval in simulated cycles (0 = auto)")
+	reportOut := flag.String("report", "", "write a self-contained HTML run report of a dedicated observed run to FILE")
+	reportBaseline := flag.String("report-baseline", "BENCH_baseline.json", "baseline artifact for the -report BENCH comparison (section skipped when unreadable)")
 	flag.Parse()
 
 	if *compare {
@@ -106,6 +122,19 @@ func main() {
 	if *quick {
 		sc.Threads = []int{1, 4, 16}
 		sc.Ops = 80
+	}
+	if *httpAddr != "" {
+		bus := observatory.NewBus()
+		sc.Observe = observatory.NewPump(observatory.Config{
+			Interval: sim.Time(*obsInterval), Bus: bus,
+		})
+		srv := observatory.NewServer(bus)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "observatory http://%s (/metrics /snapshot.json /conflictgraph.dot /flight /debug/pprof/)\n", addr)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -187,6 +216,11 @@ func main() {
 		currentFig = "timeline"
 		writeTimeline(sc, *traceOut)
 	}
+	if *reportOut != "" {
+		ran = true
+		currentFig = "report"
+		writeReport(sc, *reportOut, *reportBaseline, bench, *threshold, sim.Time(*obsInterval))
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -197,6 +231,69 @@ func main() {
 		}
 		fmt.Fprintf(out, "== bench artifact: %d cells -> %s ==\n", len(bench.Cells), *benchOut)
 	}
+}
+
+// writeReport runs one dedicated observed FlexTM(Lazy)/RBTree point at the
+// sweep's largest thread count with a frame-retaining pump, then renders
+// the run as a self-contained HTML report. When a bench artifact was
+// recorded this invocation and the baseline artifact is readable, the
+// report embeds their comparison.
+func writeReport(sc harness.SweepConfig, path, baselinePath string, bench *benchfmt.Artifact, threshold float64, iv sim.Time) {
+	threads := 1
+	for _, th := range sc.Threads {
+		if th > threads {
+			threads = th
+		}
+	}
+	if iv == 0 {
+		// Finer than the watch default: the report's charts want a few dozen
+		// points out of a single paper-scale run.
+		iv = 20_000
+	}
+	f, _ := workloads.ByName("RBTree")
+	pump := observatory.NewPump(observatory.Config{Interval: iv, Retain: true})
+	res, err := harness.Run(harness.RunConfig{
+		System: harness.FlexTMLazy, Workload: f, Threads: threads,
+		OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: sc.Verify,
+		Observe: pump,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if sc.OnResult != nil {
+		sc.OnResult(res)
+	}
+	d := observatory.ReportData{
+		Title:   fmt.Sprintf("FlexTM run report — %s / %s @ %d threads", res.System, res.Workload, res.Threads),
+		Frames:  pump.Frames(),
+		Command: fmt.Sprintf("paperbench -report %s -ops %d", path, sc.Ops),
+	}
+	if fin := pump.Final(); fin != nil {
+		d.Meta = fin.Meta
+	}
+	if bench != nil {
+		d.Bench = bench
+		if base, err := benchfmt.ReadFile(baselinePath); err == nil {
+			cres := benchfmt.Compare(base, bench, threshold)
+			d.Compare = &cres
+			d.BaselineLabel = baselinePath
+		} else {
+			fmt.Fprintf(out, "report: baseline %s unreadable, comparison section skipped (%v)\n", baselinePath, err)
+		}
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := observatory.WriteHTMLReport(file, d); err != nil {
+		file.Close()
+		fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(out, "== report: %d frames from %s/%s@%d -> %s ==\n",
+		len(d.Frames), res.System, res.Workload, res.Threads, path)
 }
 
 // newBenchCell converts one sweep data point into an artifact cell.
@@ -227,8 +324,25 @@ func newBenchCell(figure string, res harness.Result, cores int) benchfmt.Cell {
 	return c
 }
 
-// compareArtifacts implements -compare OLD NEW.
+// compareArtifacts implements -compare OLD NEW. The flag package stops
+// parsing at the first positional argument, so a trailing `-threshold X`
+// (the natural way to type the command) arrives here rather than in the
+// parsed flag — accept it instead of failing on arg count.
 func compareArtifacts(args []string, threshold float64) {
+	var paths []string
+	for i := 0; i < len(args); i++ {
+		if a := strings.TrimLeft(args[i], "-"); a != args[i] && a == "threshold" && i+1 < len(args) {
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				fatal(fmt.Errorf("-threshold %q: %v", args[i+1], err))
+			}
+			threshold = v
+			i++
+			continue
+		}
+		paths = append(paths, args[i])
+	}
+	args = paths
 	if len(args) != 2 {
 		fatal(fmt.Errorf("-compare needs exactly two artifact paths, got %d", len(args)))
 	}

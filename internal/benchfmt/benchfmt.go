@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"flextm/internal/telemetry"
 )
@@ -92,13 +93,15 @@ func (a *Artifact) WriteFile(path string) error {
 	return f.Close()
 }
 
-// Read parses an artifact.
+// Read parses an artifact. Any "flextm-bench/" schema version parses —
+// version skew is the comparer's call to make (Compare flags it), not a
+// reason to refuse reading the file.
 func Read(r io.Reader) (*Artifact, error) {
 	var a Artifact
 	if err := json.NewDecoder(r).Decode(&a); err != nil {
 		return nil, fmt.Errorf("benchfmt: %w", err)
 	}
-	if a.Schema != Schema {
+	if !strings.HasPrefix(a.Schema, "flextm-bench/") {
 		return nil, fmt.Errorf("benchfmt: unknown schema %q (want %q)", a.Schema, Schema)
 	}
 	return &a, nil
@@ -145,10 +148,21 @@ type CompareResult struct {
 	// grow); MissingCells lists keys that vanished (flagged as regressions).
 	NewCells     []string `json:"newCells,omitempty"`
 	MissingCells []string `json:"missingCells,omitempty"`
+	// SchemaOld / SchemaNew record both artifacts' schema identifiers;
+	// SchemaMismatch is set when they differ, and fails the comparison — a
+	// version skew silently compared as equal hides format changes.
+	SchemaOld      string `json:"schemaOld,omitempty"`
+	SchemaNew      string `json:"schemaNew,omitempty"`
+	SchemaMismatch bool   `json:"schemaMismatch,omitempty"`
+	// MetricGaps lists metrics recorded in only one of the two artifacts
+	// (e.g. a baseline captured without telemetry has no attribution). Gaps
+	// are reported, never silently skipped, but do not fail the comparison.
+	MetricGaps []string `json:"metricGaps,omitempty"`
 }
 
-// Ok reports whether the comparison found no regressions.
-func (c CompareResult) Ok() bool { return len(c.Regressions) == 0 }
+// Ok reports whether the comparison found no regressions and no schema
+// mismatch.
+func (c CompareResult) Ok() bool { return len(c.Regressions) == 0 && !c.SchemaMismatch }
 
 // abortRateFloor is the absolute aborts-per-commit slack below which
 // abort-rate growth is ignored: going from 0.00 to 0.03 aborts/commit is
@@ -161,6 +175,8 @@ const abortRateFloor = 0.05
 // explicit, not silent.
 func Compare(old, new *Artifact, tol float64) CompareResult {
 	var res CompareResult
+	res.SchemaOld, res.SchemaNew = old.Schema, new.Schema
+	res.SchemaMismatch = old.Schema != new.Schema
 	oldByKey := map[string]Cell{}
 	for _, c := range old.Cells {
 		oldByKey[c.Key()] = c
@@ -190,7 +206,13 @@ func Compare(old, new *Artifact, tol float64) CompareResult {
 			continue
 		}
 		res.Compared++
-		if oc.Throughput > 0 {
+		// Metrics recorded on only one side are gaps, reported by name —
+		// a comparison that silently skips them reads as "compared clean"
+		// when half the data was never looked at.
+		if gap := metricGaps(k, oc, nc); len(gap) > 0 {
+			res.MetricGaps = append(res.MetricGaps, gap...)
+		}
+		if oc.Throughput > 0 && nc.Throughput > 0 {
 			delta := (oc.Throughput - nc.Throughput) / oc.Throughput
 			if delta > tol {
 				res.Regressions = append(res.Regressions, Regression{
@@ -216,8 +238,34 @@ func Compare(old, new *Artifact, tol float64) CompareResult {
 	return res
 }
 
+// metricGaps names the optional metrics of one cell pair recorded on only
+// one side.
+func metricGaps(key string, oc, nc Cell) []string {
+	var gaps []string
+	side := func(inOld bool) string {
+		if inOld {
+			return "only in old artifact"
+		}
+		return "only in new artifact"
+	}
+	if (oc.Throughput > 0) != (nc.Throughput > 0) {
+		gaps = append(gaps, fmt.Sprintf("%s: throughput %s", key, side(oc.Throughput > 0)))
+	}
+	if (oc.Attribution != nil) != (nc.Attribution != nil) {
+		gaps = append(gaps, fmt.Sprintf("%s: attribution %s", key, side(oc.Attribution != nil)))
+	}
+	if (len(oc.Pathologies) > 0) != (len(nc.Pathologies) > 0) {
+		gaps = append(gaps, fmt.Sprintf("%s: pathologies %s", key, side(len(oc.Pathologies) > 0)))
+	}
+	return gaps
+}
+
 // Print writes the comparison outcome for humans.
 func (c CompareResult) Print(w io.Writer) {
+	if c.SchemaMismatch {
+		fmt.Fprintf(w, "SCHEMA MISMATCH: old %q vs new %q — artifacts are not comparable\n",
+			c.SchemaOld, c.SchemaNew)
+	}
 	fmt.Fprintf(w, "compared %d cells", c.Compared)
 	if len(c.NewCells) > 0 {
 		fmt.Fprintf(w, ", %d new", len(c.NewCells))
@@ -226,7 +274,13 @@ func (c CompareResult) Print(w io.Writer) {
 		fmt.Fprintf(w, ", %d improved", c.Improvements)
 	}
 	fmt.Fprintln(w)
-	if c.Ok() {
+	if len(c.MetricGaps) > 0 {
+		fmt.Fprintf(w, "%d metric gap(s) — recorded in only one artifact:\n", len(c.MetricGaps))
+		for _, g := range c.MetricGaps {
+			fmt.Fprintf(w, "  %s\n", g)
+		}
+	}
+	if len(c.Regressions) == 0 {
 		fmt.Fprintln(w, "no regressions")
 		return
 	}

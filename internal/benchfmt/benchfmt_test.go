@@ -68,8 +68,13 @@ func TestWriteIsByteStable(t *testing.T) {
 }
 
 func TestReadRejectsUnknownSchema(t *testing.T) {
-	if _, err := Read(strings.NewReader(`{"schema":"flextm-bench/v999","cells":[]}`)); err == nil {
-		t.Fatal("unknown schema accepted")
+	// Any flextm-bench/ version parses (Compare flags the skew); foreign
+	// formats and garbage do not.
+	if _, err := Read(strings.NewReader(`{"schema":"flextm-bench/v999","cells":[]}`)); err != nil {
+		t.Fatalf("newer flextm-bench version rejected at read time: %v", err)
+	}
+	if _, err := Read(strings.NewReader(`{"schema":"go-bench/v1","cells":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
 	}
 	if _, err := Read(strings.NewReader(`not json`)); err == nil {
 		t.Fatal("garbage accepted")

@@ -1,0 +1,96 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadAcceptsAnyBenchSchemaVersion(t *testing.T) {
+	// Version skew is the comparer's call, not the reader's: a future
+	// flextm-bench/v2 artifact must parse so Compare can flag the mismatch.
+	a, err := Read(strings.NewReader(`{"schema":"flextm-bench/v2","cells":[]}`))
+	if err != nil {
+		t.Fatalf("future schema version rejected: %v", err)
+	}
+	if a.Schema != "flextm-bench/v2" {
+		t.Fatalf("schema = %q", a.Schema)
+	}
+	if _, err := Read(strings.NewReader(`{"schema":"other-tool/v1","cells":[]}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestCompareFailsOnSchemaMismatch(t *testing.T) {
+	old := sampleArtifact()
+	new_ := sampleArtifact()
+	new_.Schema = "flextm-bench/v2"
+	res := Compare(old, new_, 0.10)
+	if !res.SchemaMismatch {
+		t.Fatal("schema skew not detected")
+	}
+	if res.Ok() {
+		t.Fatal("schema mismatch must fail the comparison even with zero regressions")
+	}
+	if res.SchemaOld != Schema || res.SchemaNew != "flextm-bench/v2" {
+		t.Fatalf("recorded schemas: old=%q new=%q", res.SchemaOld, res.SchemaNew)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "SCHEMA MISMATCH") {
+		t.Fatalf("print does not surface the mismatch:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsMetricGaps(t *testing.T) {
+	// A cell metric recorded in only one artifact is reported by name, not
+	// silently skipped: a baseline captured without telemetry must not read
+	// as "compared clean".
+	old := sampleArtifact()
+	new_ := sampleArtifact()
+	new_.Cells[0].Attribution = nil // old has none either; no gap
+	old.Cells[1].Pathologies = map[string]uint64{"abort-cycle": 1}
+	new_.Cells[2].Throughput = 0
+
+	res := Compare(old, new_, 0.10)
+	if res.SchemaMismatch {
+		t.Fatal("same-schema compare flagged mismatch")
+	}
+	// Gaps are informational: they never fail the comparison on their own.
+	if !res.Ok() {
+		t.Fatalf("gaps failed the comparison: %+v", res.Regressions)
+	}
+	joined := strings.Join(res.MetricGaps, "\n")
+	if !strings.Contains(joined, "pathologies only in old artifact") {
+		t.Errorf("pathology gap not reported: %q", joined)
+	}
+	if !strings.Contains(joined, "throughput only in old artifact") {
+		t.Errorf("throughput gap not reported: %q", joined)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "metric gap") {
+		t.Fatalf("print does not list gaps:\n%s", buf.String())
+	}
+}
+
+func TestCompareNoGapsWhenBothSidesRecord(t *testing.T) {
+	res := Compare(sampleArtifact(), sampleArtifact(), 0.10)
+	if len(res.MetricGaps) != 0 {
+		t.Fatalf("self-compare reported gaps: %v", res.MetricGaps)
+	}
+}
+
+func TestCompareSkipsThroughputWhenAbsentBothSides(t *testing.T) {
+	old := sampleArtifact()
+	new_ := sampleArtifact()
+	old.Cells[0].Throughput = 0
+	new_.Cells[0].Throughput = 0
+	res := Compare(old, new_, 0.10)
+	if !res.Ok() {
+		t.Fatalf("absent-on-both throughput flagged: %+v", res.Regressions)
+	}
+	if len(res.MetricGaps) != 0 {
+		t.Fatalf("absent-on-both throughput is not a gap: %v", res.MetricGaps)
+	}
+}

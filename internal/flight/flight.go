@@ -193,6 +193,30 @@ func (r *Recorder) Snapshot() []Rec {
 	return out
 }
 
+// SnapshotSince returns the live records with Seq > seq, sorted by record
+// order: the incremental form of Snapshot, used by the observatory pump to
+// pull only the window recorded since its previous sample. Records already
+// overwritten by ring wrap-around are gone regardless of seq.
+func (r *Recorder) SnapshotSince(seq uint64) []Rec {
+	if r == nil {
+		return nil
+	}
+	var out []Rec
+	for i, ring := range r.rings {
+		n := r.written[i]
+		if n > uint64(len(ring)) {
+			n = uint64(len(ring))
+		}
+		for _, rec := range ring[:n] {
+			if rec.Seq > seq {
+				out = append(out, rec)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
 // Reset discards all records (the rings stay allocated).
 func (r *Recorder) Reset() {
 	if r == nil {

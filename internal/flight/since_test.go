@@ -1,0 +1,81 @@
+package flight
+
+import "testing"
+
+func TestSnapshotSinceFiltersBySeq(t *testing.T) {
+	r := New(2, 16)
+	for i := 0; i < 6; i++ {
+		r.Rec(i%2, 0, TxnBegin, -1, 0, 0)
+	}
+	all := r.Snapshot()
+	if len(all) != 6 {
+		t.Fatalf("snapshot = %d records", len(all))
+	}
+	since := r.SnapshotSince(all[2].Seq)
+	if len(since) != 3 {
+		t.Fatalf("since seq %d = %d records, want 3", all[2].Seq, len(since))
+	}
+	for i, rec := range since {
+		if rec.Seq != all[3+i].Seq {
+			t.Fatalf("since[%d].Seq = %d, want %d (sorted, strictly after)", i, rec.Seq, all[3+i].Seq)
+		}
+	}
+	// Zero returns everything; the newest seq returns nothing.
+	if got := len(r.SnapshotSince(0)); got != 6 {
+		t.Fatalf("since 0 = %d records, want 6", got)
+	}
+	if got := len(r.SnapshotSince(all[5].Seq)); got != 0 {
+		t.Fatalf("since newest = %d records, want 0", got)
+	}
+}
+
+func TestSnapshotSinceIncrementalPullsCoverEverything(t *testing.T) {
+	// The observatory pump's access pattern: pull, record more, pull again
+	// from the last seen seq. The union must equal one big snapshot.
+	r := New(2, 32)
+	var pulled []Rec
+	var last uint64
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 5; i++ {
+			r.Rec(i%2, 0, TxnCommit, -1, 0, 0)
+		}
+		fresh := r.SnapshotSince(last)
+		if len(fresh) != 5 {
+			t.Fatalf("round %d pulled %d records, want 5", round, len(fresh))
+		}
+		last = fresh[len(fresh)-1].Seq
+		pulled = append(pulled, fresh...)
+	}
+	full := r.Snapshot()
+	if len(pulled) != len(full) {
+		t.Fatalf("incremental pulls = %d records, full snapshot = %d", len(pulled), len(full))
+	}
+	for i := range full {
+		if pulled[i].Seq != full[i].Seq {
+			t.Fatalf("record %d: incremental seq %d != full seq %d", i, pulled[i].Seq, full[i].Seq)
+		}
+	}
+}
+
+func TestSnapshotSinceAfterRingWrap(t *testing.T) {
+	r := New(1, 4)
+	for i := 0; i < 10; i++ {
+		r.Rec(0, 0, TxnAbort, -1, 0, 0)
+	}
+	// Records 1-6 are overwritten; asking for "since 2" can only return
+	// what survives in the ring.
+	got := r.SnapshotSince(2)
+	if len(got) != 4 {
+		t.Fatalf("post-wrap since = %d records, want ring capacity 4", len(got))
+	}
+	if got[0].Seq != 7 || got[3].Seq != 10 {
+		t.Fatalf("post-wrap window = seq %d..%d, want 7..10", got[0].Seq, got[3].Seq)
+	}
+}
+
+func TestSnapshotSinceNilRecorder(t *testing.T) {
+	var r *Recorder
+	if got := r.SnapshotSince(0); got != nil {
+		t.Fatalf("nil recorder since = %v", got)
+	}
+}

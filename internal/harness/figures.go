@@ -8,6 +8,7 @@ import (
 	"flextm/internal/cache"
 	"flextm/internal/cm"
 	"flextm/internal/core"
+	"flextm/internal/observatory"
 	"flextm/internal/signature"
 	"flextm/internal/sim"
 	"flextm/internal/tmapi"
@@ -41,6 +42,11 @@ type SweepConfig struct {
 	// Flight attaches a flight recorder to every run of the sweep; each
 	// Result then carries the recorder for conflict-graph analysis.
 	Flight bool
+	// Observe, if non-nil, attaches the observation plane to every run of
+	// the sweep (see RunConfig.Observe). The pump is re-bound per run, so a
+	// subscriber sees the sweep as a sequence of runs, each ending in a
+	// Final frame.
+	Observe *observatory.Pump
 	// OnResult, if non-nil, observes every data point as it completes
 	// (paperbench uses it for machine-readable output).
 	OnResult func(Result)
@@ -134,7 +140,7 @@ func sweepWithBase(sc SweepConfig, f workloads.Factory, systems []SystemName, ba
 			res, err := Run(RunConfig{
 				System: sysName, Workload: f, Threads: th, OpsPerThread: sc.Ops,
 				Machine: sc.Machine, Verify: sc.Verify, Metrics: sc.Metrics,
-				Flight: sc.Flight,
+				Flight: sc.Flight, Observe: sc.Observe,
 			})
 			if err != nil {
 				return Plot{}, fmt.Errorf("%s@%d: %w", sysName, th, err)
@@ -315,7 +321,7 @@ func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowRe
 		bounded, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: small, Verify: sc.Verify,
-			Metrics: sc.Metrics, Flight: sc.Flight,
+			Metrics: sc.Metrics, Flight: sc.Flight, Observe: sc.Observe,
 		})
 		if err != nil {
 			return nil, err
@@ -324,7 +330,7 @@ func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowRe
 		ideal, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: unbounded, Verify: sc.Verify,
-			Metrics: sc.Metrics, Flight: sc.Flight,
+			Metrics: sc.Metrics, Flight: sc.Flight, Observe: sc.Observe,
 		})
 		if err != nil {
 			return nil, err
@@ -398,7 +404,7 @@ func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) (
 		res, err := Run(RunConfig{
 			System: FlexTMLazy, Workload: f, Threads: threads,
 			OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
-			Metrics: true, Flight: sc.Flight,
+			Metrics: true, Flight: sc.Flight, Observe: sc.Observe,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sig width %d: %w", bits, err)

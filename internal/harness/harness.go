@@ -17,6 +17,7 @@ import (
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/flight"
+	"flextm/internal/observatory"
 	"flextm/internal/oracle"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
@@ -112,6 +113,13 @@ type RunConfig struct {
 	// run's operation log is checked offline and the verdict returned in
 	// Result.OracleReport. Off by default — recording grows with the run.
 	Oracle bool
+	// Observe, if non-nil, attaches the observation plane: a snapshot pump
+	// runs as its own simulated thread, sampling telemetry and the flight
+	// recorder every pump interval of virtual time and publishing frames to
+	// the pump's bus. Forces Metrics and Flight on — the pump has nothing to
+	// observe without them. Observation never perturbs the workload threads'
+	// schedule, so observed and unobserved runs produce identical results.
+	Observe *observatory.Pump
 }
 
 // DefaultOps is the per-thread operation count used by the paper-replica
@@ -181,6 +189,10 @@ func Run(rc RunConfig) (Result, error) {
 		warmupTotal = DefaultWarmup
 	}
 	warmup := (warmupTotal + rc.Threads - 1) / rc.Threads
+	if rc.Observe != nil {
+		rc.Metrics = true
+		rc.Flight = true
+	}
 	sys := tmesi.New(rc.Machine)
 	if rc.Metrics {
 		// Attach before NewRuntime: the runtime captures the registry (and
@@ -219,11 +231,12 @@ func Run(rc RunConfig) (Result, error) {
 	w.Setup(env)
 
 	e := sim.NewEngine()
+	var workers []*sim.Ctx
 	starts := make([]sim.Time, rc.Threads)
 	ends := make([]sim.Time, rc.Threads)
 	for i := 0; i < rc.Threads; i++ {
 		coreID := i
-		e.Spawn(fmt.Sprintf("%s-%d", w.Name(), i), 0, func(ctx *sim.Ctx) {
+		workers = append(workers, e.Spawn(fmt.Sprintf("%s-%d", w.Name(), i), 0, func(ctx *sim.Ctx) {
 			th := rt.Bind(ctx, coreID)
 			for j := 0; j < warmup; j++ {
 				w.Op(th)
@@ -233,6 +246,38 @@ func Run(rc RunConfig) (Result, error) {
 				w.Op(th)
 			}
 			ends[coreID] = ctx.Now()
+		}))
+	}
+	if rc.Observe != nil {
+		rc.Observe.Bind(sys.Telemetry(), sys.Flight(), observatory.Meta{
+			System:   string(rc.System),
+			Workload: w.Name(),
+			Threads:  rc.Threads,
+			Cores:    rc.Machine.Cores,
+		})
+		// The pump is an ordinary simulated thread that advances in
+		// interval-sized steps and samples whenever it holds the virtual
+		// CPU, so sampling is deterministic and cannot perturb the workload
+		// threads' schedule. It stops as soon as every worker has finished
+		// (or blocked — a wedged run must not keep the engine alive).
+		iv := rc.Observe.Interval()
+		e.Spawn("observatory", 0, func(ctx *sim.Ctx) {
+			for {
+				live := false
+				for _, wc := range workers {
+					if !wc.Done() {
+						live = true
+						break
+					}
+				}
+				if !live {
+					break
+				}
+				ctx.Advance(iv)
+				ctx.Sync()
+				rc.Observe.Tick(ctx.Now())
+			}
+			rc.Observe.Finish(ctx.Now())
 		})
 	}
 	if blocked := e.Run(); blocked != 0 {
@@ -246,13 +291,22 @@ func Run(rc RunConfig) (Result, error) {
 	}
 
 	st := rt.Stats()
+	// Makespan over the workload threads only: the observatory pump's clock
+	// can overshoot the last worker by up to one interval, and observation
+	// must not change the reported run length.
+	var makespan sim.Time
+	for _, wc := range workers {
+		if wc.Now() > makespan {
+			makespan = wc.Now()
+		}
+	}
 	res := Result{
 		System:   rc.System,
 		Workload: w.Name(),
 		Threads:  rc.Threads,
 		Commits:  st.Commits,
 		Aborts:   st.Aborts,
-		Cycles:   e.MaxTime(),
+		Cycles:   makespan,
 		Machine:  sys.Stats(),
 	}
 	res.Escalations = st.Escalations

@@ -9,8 +9,10 @@ import (
 	"flextm/internal/fault"
 	"flextm/internal/flight"
 	"flextm/internal/memory"
+	"flextm/internal/observatory"
 	"flextm/internal/oracle"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 )
@@ -40,11 +42,24 @@ type LivelockOutcome struct {
 // profiler ("does the analyzer detect a real livelock?") and a regression
 // probe for the escalation path ("does the run terminate at all?").
 func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) {
+	return ObservedLivelockProbe(seed, nil)
+}
+
+// ObservedLivelockProbe is LivelockProbe with the observation plane
+// attached: pump, if non-nil, samples the duel as it runs, so a watcher
+// (or the -watch acceptance test) sees the abort-cycle pathology flagged
+// live — before the watchdog trips.
+func ObservedLivelockProbe(seed uint64, pump *observatory.Pump) (*conflictgraph.Report, LivelockOutcome, error) {
 	cfg := tmesi.DefaultConfig()
 	cfg.Cores = 2
 	sys := tmesi.New(cfg)
 	fl := flight.New(cfg.Cores, 0)
 	sys.SetFlight(fl)
+	if pump != nil {
+		// The classifier needs the telemetry registry too; the probe's own
+		// analysis keeps using the flight rings as before.
+		sys.SetTelemetry(telemetry.New(cfg.Cores))
+	}
 	inj := fault.NewInjector(fault.Config{Seed: seed}.WithRate(fault.SigFalsePos, 0.25))
 	sys.SetFaultInjector(inj)
 
@@ -72,9 +87,10 @@ func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) 
 
 	const rounds = 40
 	e := sim.NewEngine()
+	var duelists []*sim.Ctx
 	for t := 0; t < 2; t++ {
 		id := t
-		e.Spawn(fmt.Sprintf("duel-%d", id), 0, func(ctx *sim.Ctx) {
+		duelists = append(duelists, e.Spawn(fmt.Sprintf("duel-%d", id), 0, func(ctx *sim.Ctx) {
 			th := rt.BindThread(ctx, id)
 			first, second := lineA, lineB
 			if id == 1 {
@@ -92,6 +108,31 @@ func LivelockProbe(seed uint64) (*conflictgraph.Report, LivelockOutcome, error) 
 					th.Work(200)
 				})
 			}
+		}))
+	}
+	if pump != nil {
+		pump.Bind(sys.Telemetry(), fl, observatory.Meta{
+			System: string(FlexTMEager), Workload: "LivelockDuel",
+			Threads: 2, Cores: cfg.Cores,
+		})
+		iv := pump.Interval()
+		e.Spawn("observatory", 0, func(ctx *sim.Ctx) {
+			for {
+				live := false
+				for _, d := range duelists {
+					if !d.Done() {
+						live = true
+						break
+					}
+				}
+				if !live {
+					break
+				}
+				ctx.Advance(iv)
+				ctx.Sync()
+				pump.Tick(ctx.Now())
+			}
+			pump.Finish(ctx.Now())
 		})
 	}
 	if blocked := e.Run(); blocked != 0 {

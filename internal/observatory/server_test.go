@@ -1,0 +1,132 @@
+package observatory
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serverFixture(t *testing.T) (*Server, *Bus) {
+	t.Helper()
+	bus := NewBus()
+	return NewServer(bus), bus
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	return rr
+}
+
+func TestMetricsEndpointServesValidOpenMetrics(t *testing.T) {
+	srv, bus := serverFixture(t)
+
+	// Before any frame: still a valid (empty) exposition, never an error —
+	// a scraper that arrives early must not flap.
+	rr := get(t, srv.Handler(), "/metrics")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("pre-frame /metrics status = %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := CheckExposition(rr.Body); err != nil {
+		t.Fatalf("pre-frame exposition invalid: %v", err)
+	}
+
+	bus.Publish(fullFrame())
+	rr = get(t, srv.Handler(), "/metrics")
+	exp, err := ParseExposition(rr.Body)
+	if err != nil {
+		t.Fatalf("live exposition invalid: %v", err)
+	}
+	if exp.Family("flextm_txn_commits") == nil {
+		t.Fatal("live scrape has no commit counter")
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	srv, bus := serverFixture(t)
+	if rr := get(t, srv.Handler(), "/snapshot.json"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-frame /snapshot.json status = %d, want 503", rr.Code)
+	}
+	bus.Publish(fullFrame())
+	rr := get(t, srv.Handler(), "/snapshot.json")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/snapshot.json status = %d", rr.Code)
+	}
+	var snap SnapshotJSON
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not JSON: %v", err)
+	}
+	if snap.Meta.System != "FlexTM(Eager)" || snap.Totals["txn-commits"] != 40 {
+		t.Fatalf("snapshot content: %+v", snap)
+	}
+	if snap.BusPublished != 1 {
+		t.Fatalf("busPublished = %d, want 1", snap.BusPublished)
+	}
+}
+
+func TestDOTAndFlightEndpoints(t *testing.T) {
+	srv, bus := serverFixture(t)
+	for _, path := range []string{"/conflictgraph.dot", "/flight"} {
+		if rr := get(t, srv.Handler(), path); rr.Code != http.StatusServiceUnavailable {
+			t.Fatalf("pre-frame %s status = %d, want 503", path, rr.Code)
+		}
+	}
+	bus.Publish(fullFrame())
+	rr := get(t, srv.Handler(), "/conflictgraph.dot")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "digraph") {
+		t.Fatalf("/conflictgraph.dot status=%d body=%q", rr.Code, rr.Body.String())
+	}
+	rr = get(t, srv.Handler(), "/flight")
+	var fj struct {
+		Records []struct {
+			Kind string `json:"kind"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &fj); err != nil {
+		t.Fatalf("/flight is not JSON: %v", err)
+	}
+	if len(fj.Records) != 2 || fj.Records[0].Kind != "begin" {
+		t.Fatalf("/flight records = %+v", fj.Records)
+	}
+}
+
+func TestIndexListsEndpoints(t *testing.T) {
+	srv, bus := serverFixture(t)
+	rr := get(t, srv.Handler(), "/")
+	for _, want := range []string{"/metrics", "/snapshot.json", "/conflictgraph.dot", "/flight", "/debug/pprof/"} {
+		if !strings.Contains(rr.Body.String(), want) {
+			t.Errorf("index does not mention %s", want)
+		}
+	}
+	if rr := get(t, srv.Handler(), "/nope"); rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", rr.Code)
+	}
+	bus.Publish(fullFrame())
+	if body := get(t, srv.Handler(), "/").Body.String(); !strings.Contains(body, "FlexTM(Eager)") {
+		t.Error("index does not identify the live run")
+	}
+}
+
+func TestServerStartAndClose(t *testing.T) {
+	srv, bus := serverFixture(t)
+	bus.Publish(fullFrame())
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := CheckExposition(resp.Body); err != nil {
+		t.Fatalf("scrape over TCP invalid: %v", err)
+	}
+}

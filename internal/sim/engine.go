@@ -48,6 +48,12 @@ func (c *Ctx) Name() string { return c.name }
 // Now returns the thread's local virtual clock.
 func (c *Ctx) Now() Time { return c.now }
 
+// Done reports whether the thread can make no further progress on its own:
+// it has finished, or it is blocked waiting for another thread. Observer
+// threads (e.g. the observatory pump) use it to stop sampling once every
+// worker is done, so a perpetual observer cannot keep the engine alive.
+func (c *Ctx) Done() bool { return c.finished || c.blocked }
+
 // Advance moves the thread's local clock forward by d cycles without
 // yielding. Use it for computation that touches no shared simulated state.
 func (c *Ctx) Advance(d Time) { c.now += d }
