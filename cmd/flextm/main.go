@@ -42,6 +42,7 @@ import (
 	"flextm/internal/conflictgraph"
 	"flextm/internal/core"
 	"flextm/internal/fault"
+	"flextm/internal/governor"
 	"flextm/internal/harness"
 	"flextm/internal/observatory"
 	"flextm/internal/sim"
@@ -77,6 +78,9 @@ func main() {
 	obsInterval := flag.Uint64("obs-interval", 0, "observation sampling interval in simulated cycles (0 = auto)")
 	linger := flag.Duration("linger", 0, "keep the -http server up for DUR after the run ends (scrape window)")
 	livelock := flag.Bool("livelock", false, "run the dueling-livelock probe instead of a workload (pairs with -watch)")
+	govern := flag.Bool("govern", false, "attach the closed-loop resilience governor (FlexTM systems; with -livelock the probe must self-heal)")
+	governLadder := flag.String("govern-ladder", "", "governor mitigation ladder spec, e.g. 'cm:Polka,backoff:3,admit:auto,sig:4,serialize' (default: built-in ladder)")
+	governLog := flag.String("govern-log", "", "write the governor transition log to FILE after the run")
 	flag.Parse()
 	if *profileDOT != "" || *profileJSON != "" {
 		*profile = true
@@ -116,6 +120,11 @@ func main() {
 				// The duel lives and dies within a few tens of thousands of
 				// cycles; sample finely enough to catch the cycle forming.
 				iv = 1000
+				if *govern {
+					// The governed probe's tuning (watchdog budget, hysteresis)
+					// assumes its tested reaction period.
+					iv = harness.GovernedLivelockInterval
+				}
 			}
 		}
 		pump = observatory.NewPump(observatory.Config{
@@ -157,8 +166,10 @@ func main() {
 	if *watch {
 		ch, _ := bus.Subscribe(4096)
 		watchDone = make(chan struct{})
+		wa := observatory.NewWatcher(os.Stdout)
+		wa.AttachBus(bus)
 		go func() {
-			observatory.NewWatcher(os.Stdout).Run(ch)
+			wa.Run(ch)
 			close(watchDone)
 		}()
 	}
@@ -172,8 +183,31 @@ func main() {
 		srv.Close()
 	}
 
+	// The governor. With -livelock the probe's tested configuration is the
+	// base; a -govern-ladder spec overrides the rung sequence either way.
+	var gov *governor.Governor
+	if *govern {
+		gcfg := governor.Config{Cooldown: -1}
+		if *livelock {
+			gcfg = harness.GovernedLivelockConfig()
+		}
+		if *governLadder != "" {
+			ladder, err := governor.ParseLadder(*governLadder)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "flextm:", err)
+				os.Exit(2)
+			}
+			gcfg.Ladder = ladder
+		}
+		gov = governor.New(gcfg)
+	}
+
 	if *livelock {
-		runLivelock(*seed, pump, watchDone)
+		if gov != nil {
+			runGovernedLivelock(*seed, gov, pump, watchDone, *governLog)
+		} else {
+			runLivelock(*seed, pump, watchDone)
+		}
 		lingerPhase()
 		return
 	}
@@ -240,6 +274,7 @@ func main() {
 		Faults:       faultCfg,
 		Oracle:       *oracleOn,
 		Observe:      pump,
+		Govern:       gov,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flextm:", err)
@@ -307,6 +342,13 @@ func main() {
 			fmt.Printf("profile     -> %s\n", *profileJSON)
 		}
 	}
+	if gov != nil {
+		printGovernor(gov)
+		if err := writeGovLog(*governLog, gov); err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(1)
+		}
+	}
 	if rep := res.OracleReport; rep != nil {
 		fmt.Println("-- serializability oracle --")
 		rep.Print(os.Stdout)
@@ -349,6 +391,52 @@ func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}) {
 		fmt.Fprintln(os.Stderr, "flextm: livelock probe did not produce an abort cycle")
 		os.Exit(1)
 	}
+}
+
+// runGovernedLivelock runs the same duel under the resilience governor with
+// a loosened watchdog: the ladder, not the watchdog, must break the cycle,
+// and by run end every rung must have unwound. Either failing exits 1.
+func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.Pump, watchDone chan struct{}, logPath string) {
+	rep, out, err := harness.GovernedLivelockProbe(seed, gov, pump)
+	waitWatch(watchDone)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("livelock    commits %d, aborts %d, escalations %d, watchdog trips %d\n",
+		out.Commits, out.Aborts, out.Escalations, out.Trips)
+	printGovernor(gov)
+	if err := writeGovLog(logPath, gov); err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
+	if out.Trips > 0 {
+		fmt.Fprintf(os.Stderr, "flextm: watchdog tripped %d times; the ladder should have resolved the duel\n", out.Trips)
+		os.Exit(1)
+	}
+	if gov.Level() != 0 {
+		fmt.Fprintf(os.Stderr, "flextm: governor stuck at level %d; mitigations did not unwind\n", gov.Level())
+		os.Exit(1)
+	}
+}
+
+// printGovernor renders the run's closed-loop summary and transition log.
+func printGovernor(gov *governor.Governor) {
+	fmt.Printf("governor    level %d/%d, %d transitions, last state %s\n",
+		gov.Level(), len(gov.Config().Ladder), len(gov.Transitions()), gov.LastState())
+	if log := gov.TransitionLog(); log != "" {
+		fmt.Println("-- governor transitions --")
+		fmt.Print(log)
+	}
+}
+
+// writeGovLog dumps the transition log for CI artifacts and bit-compares.
+func writeGovLog(path string, gov *governor.Governor) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, []byte(gov.TransitionLog()), 0o644)
 }
 
 // runStress sweeps the oracle-checked schedule explorer. In normal runs any

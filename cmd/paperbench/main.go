@@ -6,6 +6,8 @@
 //	paperbench -fig 5mp       Figure 5e,f (multiprogramming with Prime)
 //	paperbench -fig overflow  Section 7.3 overflow/victim-buffer ablation
 //	paperbench -fig chaos     fault-injection campaign (robustness, not in paper)
+//	paperbench -fig govern    resilience-governor A/B: governed vs ungoverned
+//	                          twins under randomized chaos (not in paper)
 //	paperbench -fig oracle    serializability oracle: clean sweep must pass,
 //	                          broken W-R variant must be caught (not in paper)
 //	paperbench -table 2       Table 2 (area estimation)
@@ -70,7 +72,7 @@ import (
 var out io.Writer = os.Stdout
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos, oracle")
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos, govern, oracle")
 	table := flag.String("table", "", "table to regenerate: 2, 4")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
@@ -197,6 +199,10 @@ func main() {
 	if *all || *fig == "chaos" {
 		ran = true
 		chaosCampaign(*quick, *jsonOut, enc)
+	}
+	if *all || *fig == "govern" {
+		ran = true
+		governCampaign(*quick, *jsonOut, enc)
 	}
 	if *all || *fig == "oracle" {
 		ran = true
@@ -584,6 +590,45 @@ func chaosCampaign(quick, jsonOut bool, enc *json.Encoder) {
 	fmt.Fprintln(out)
 	if !res.Ok() {
 		fatal(fmt.Errorf("chaos campaign: %d invariant violations", res.Violations))
+	}
+}
+
+// governCampaign is the closed-loop resilience A/B: a randomized governed
+// chaos soak (harness.Soak) where every cell runs twice — with the governor
+// and as an ungoverned twin — all oracle- and conservation-checked. The
+// table contrasts the two sides per cell and reports the governor's
+// transition count and final ladder level; non-convergence or any invariant
+// violation exits non-zero.
+func governCampaign(quick, jsonOut bool, enc *json.Encoder) {
+	sc := harness.SoakConfig{Seed: 1}
+	if quick {
+		sc.Cells = 3
+		sc.Rounds = 20
+	}
+	fmt.Fprintln(out, "== Govern: governed vs ungoverned twins under randomized chaos ==")
+	res := harness.Soak(sc)
+	fmt.Fprintf(out, "%-9s %8s %8s %6s | %8s %8s %6s | %5s %5s  %s\n",
+		"cell", "commits", "aborts", "escal", "commits", "aborts", "escal", "steps", "level", "verdict")
+	fmt.Fprintf(out, "%-9s %25s | %25s |\n", "", "governed", "ungoverned twin")
+	for i, c := range res.Cells {
+		verdict := "ok"
+		if len(c.Failures) > 0 {
+			verdict = strings.Join(c.Failures, "; ")
+		}
+		fmt.Fprintf(out, "%-9s %8d %8d %6d | %8d %8d %6d | %5d %5d  %s\n",
+			fmt.Sprintf("soak-%d", i), c.Commits, c.Aborts, c.Escalations,
+			c.TwinCommits, c.TwinAborts, c.TwinEscalations,
+			c.GovTransitions, c.GovFinalLevel, verdict)
+		fmt.Fprintf(out, "  schedule %s\n", c.Schedule)
+		if jsonOut {
+			if err := enc.Encode(c); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Fprintln(out)
+	if !res.Ok() {
+		fatal(fmt.Errorf("govern campaign: %d failed checks", res.Failures))
 	}
 }
 

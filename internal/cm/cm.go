@@ -86,7 +86,36 @@ func backoff(base sim.Time, n, max int, r *sim.Rand) sim.Time {
 	if window > windowMax {
 		window = windowMax
 	}
-	return sim.Time(r.Intn(int(window) + 1))
+	d := sim.Time(r.Intn(int(window) + 1))
+	if d == 0 {
+		// A zero draw would let a retry loop spin at zero delay: the thread
+		// re-attempts in the same virtual instant, and with a small base
+		// (Timid/Aggressive use base 32, early attempts shift by 0-1) the
+		// odds are high enough that dueling threads re-collide indefinitely.
+		d = 1
+	}
+	return d
+}
+
+// ByName returns a fresh manager for the given policy name (as reported by
+// Manager.Name). It is the factory the governor's ladder spec and CLI flags
+// resolve through.
+func ByName(name string) (Manager, bool) {
+	switch name {
+	case "Polka":
+		return NewPolka(), true
+	case "Timid":
+		return Timid{}, true
+	case "Aggressive":
+		return Aggressive{}, true
+	case "Karma":
+		return NewKarma(), true
+	case "Greedy":
+		return NewGreedy(), true
+	case "Timestamp":
+		return NewTimestamp(), true
+	}
+	return nil, false
 }
 
 // Polka combines Karma's priority accumulation with randomized exponential

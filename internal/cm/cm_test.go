@@ -227,6 +227,48 @@ func TestBackoffShiftClampMonotone(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffNeverZeroAfterAbort is the regression test for the
+// zero-tick spin: with small bases the uniform draw lands on 0 often enough
+// that Timid/Aggressive retry loops could re-attempt at zero delay and
+// re-collide forever. Any post-abort backoff must be at least one tick.
+func TestRetryBackoffNeverZeroAfterAbort(t *testing.T) {
+	r := sim.NewRand(3)
+	managers := []Manager{
+		NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp(),
+		&Polka{Base: 1, MaxExp: 1}, // worst case: window [0,1] is a coin flip
+	}
+	for _, m := range managers {
+		for _, aborts := range []int{1, 2, 3, 8} {
+			for i := 0; i < 400; i++ {
+				if w := m.RetryBackoff(aborts, r); w == 0 {
+					t.Fatalf("%s: zero-tick backoff at %d aborts (spin risk)", m.Name(), aborts)
+				}
+			}
+		}
+	}
+	// The aborts==0 fast path (no abort yet, no delay owed) must survive the
+	// clamp: Polka's first attempt starts immediately.
+	p := NewPolka()
+	if w := p.RetryBackoff(0, r); w != 0 {
+		t.Fatalf("RetryBackoff(0) = %d, want 0", w)
+	}
+}
+
+func TestByNameRoundTrips(t *testing.T) {
+	for _, name := range []string{"Polka", "Timid", "Aggressive", "Karma", "Greedy", "Timestamp"} {
+		m, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if m.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, ok := ByName("NoSuchPolicy"); ok {
+		t.Fatal("ByName accepted an unknown policy")
+	}
+}
+
 func TestAllManagersHandleZeroKarma(t *testing.T) {
 	r := sim.NewRand(9)
 	for _, m := range []Manager{NewPolka(), Timid{}, Aggressive{}, NewKarma(), NewGreedy(), NewTimestamp()} {

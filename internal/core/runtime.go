@@ -76,6 +76,16 @@ func DefaultCosts() Costs {
 // Fresh TSWs per transaction make stale enemy CASes miss by construction.
 const tswSlots = 64
 
+// backoffBoostCap bounds the governor's retry-back-off shift: beyond 2^16x
+// a stretched window is indistinguishable from admission control, and an
+// uncapped shift could overflow the (already capped) manager window.
+const backoffBoostCap = 16
+
+// admitPollTick is how long a thread parked at the admission gate waits
+// between polls. Fixed and random-free, so gated schedules stay
+// deterministic.
+const admitPollTick sim.Time = 256
+
 // Liveness bounds how long one Atomic section may flounder before the
 // runtime escalates it to serialized-irrevocable mode. FlexTM's optimistic
 // path guarantees only obstruction-freedom; under pathological contention —
@@ -142,6 +152,22 @@ type Runtime struct {
 	live      Liveness
 	fallback  *cgl.Spinlock
 	escActive int
+
+	// Governor-controlled knobs (internal/governor). All default to the
+	// neutral value, and every consult on the hot path is a single branch on
+	// a Go-side field, so an ungoverned run pays nothing — in simulated time
+	// or in allocations — for their existence.
+	//
+	// backoffBoost left-shifts every retry back-off the contention manager
+	// returns (mitigation rung "scale the backoff"); admitLimit caps how many
+	// threads may be inside an Atomic section at once (0 = unlimited), with
+	// admitActive counting current holders; forceSerial routes every new
+	// Atomic section straight through the serialized-irrevocable path (the
+	// ladder's last rung, reusing the watchdog's escalation machinery).
+	backoffBoost uint
+	admitLimit   int
+	admitActive  int
+	forceSerial  bool
 
 	// OnAbortYield, if set, runs in the aborted thread before its retry
 	// back-off; the multiprogramming experiment (Figure 5e,f) uses it to
@@ -260,6 +286,58 @@ func (rt *Runtime) Oracle() *oracle.Recorder { return rt.orc }
 // which then commit on stale data. It exists solely as the intentionally
 // broken variant the serializability oracle must catch; see internal/stress.
 func (rt *Runtime) SetWRAborts(on bool) { rt.wrAborts = on }
+
+// SetCM swaps the contention manager live. Threads consult rt.mgr on every
+// decision, so the new policy takes effect at the next conflict or retry;
+// in-flight back-offs already charged are not revisited. The simulation runs
+// one goroutine at a time, so the swap is race-free and deterministic.
+func (rt *Runtime) SetCM(m cm.Manager) {
+	if m != nil {
+		rt.mgr = m
+	}
+}
+
+// CM returns the contention manager currently in force.
+func (rt *Runtime) CM() cm.Manager { return rt.mgr }
+
+// SetBackoffBoost left-shifts every contention-manager retry back-off by
+// shift (0 = neutral). The governor uses it to stretch retry windows without
+// swapping the policy itself.
+func (rt *Runtime) SetBackoffBoost(shift uint) {
+	if shift > backoffBoostCap {
+		shift = backoffBoostCap
+	}
+	rt.backoffBoost = shift
+}
+
+// BackoffBoost returns the current retry back-off shift.
+func (rt *Runtime) BackoffBoost() uint { return rt.backoffBoost }
+
+// SetAdmitLimit caps how many threads may run Atomic sections concurrently
+// (0 = unlimited). Lowering the limit sheds load gradually: sections already
+// admitted run to completion; new sections wait at the gate until a token
+// frees up. Raising it re-admits waiters on their next poll.
+func (rt *Runtime) SetAdmitLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rt.admitLimit = n
+}
+
+// AdmitLimit returns the admission-control cap (0 = unlimited).
+func (rt *Runtime) AdmitLimit() int { return rt.admitLimit }
+
+// AdmitActive returns how many threads currently hold admission tokens.
+func (rt *Runtime) AdmitActive() int { return rt.admitActive }
+
+// SetForceSerial routes every new Atomic section through the
+// serialized-irrevocable fallback (the mitigation ladder's last rung).
+// Sections already running optimistically finish or drain at the fallback
+// gate as usual.
+func (rt *Runtime) SetForceSerial(on bool) { rt.forceSerial = on }
+
+// ForceSerial reports whether new sections are being serialized.
+func (rt *Runtime) ForceSerial() bool { return rt.forceSerial }
 
 // SetSigScreen toggles the commit-time signature screen: before aborting an
 // enemy processor, verify its current (software-visible) signatures still

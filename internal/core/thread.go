@@ -26,6 +26,9 @@ type Thread struct {
 	// inFallback marks that this thread holds the runtime's fallback lock
 	// and is finishing its section in serialized-irrevocable mode.
 	inFallback bool
+	// admitHeld marks that this thread holds an admission token (governor
+	// admission control); released when its Atomic section ends.
+	admitHeld bool
 
 	// Cycle-attribution bookkeeping for the current attempt (telemetry):
 	// when the attempt started and how many of its cycles were spent
@@ -73,6 +76,11 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 	}
 	stamp := uint64(0)
 	sectionStart := th.ctx.Now()
+	// Admission gate (governor): with a token cap in force, wait for a free
+	// token before entering the section, and hold it across retries so the
+	// cap bounds *sections* in flight, not attempts. One branch when off.
+	th.admitGate()
+	defer th.admitRelease()
 	for {
 		if stamp == 0 {
 			th.rt.ageClock++
@@ -83,6 +91,13 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 		// The un-contended check is one load of a shared line and consumes
 		// no randomness, leaving fault-free schedules untouched.
 		th.fallbackGate()
+		// Forced serialization (the ladder's last rung): skip the optimistic
+		// path entirely and finish under the fallback lock.
+		if th.rt.forceSerial {
+			th.escalate(stamp, body)
+			th.consecAborts = 0
+			return
+		}
 		if th.attempt(stamp, body) {
 			th.consecAborts = 0
 			return
@@ -98,10 +113,46 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 			y(th)
 		}
 		backoff := th.rt.mgr.RetryBackoff(th.consecAborts, th.rnd)
+		if b := th.rt.backoffBoost; b != 0 && backoff != 0 {
+			boosted := backoff << b
+			if boosted>>b != backoff {
+				boosted = 1 << 62 // cannot occur with capped windows; belt and braces
+			}
+			backoff = boosted
+		}
 		th.ctx.Advance(backoff)
 		// Retry back-off is stall-wait: the thread sits between attempts.
 		th.rt.tel.Add(th.core, telemetry.CtrCMBackoffCycles, backoff)
 		th.rt.tel.Add(th.core, telemetry.CtrCycStall, backoff)
+	}
+}
+
+// admitGate blocks until the governor's admission cap has a free token,
+// then takes one. Free (a single predicted branch) when no cap is in force.
+// The poll consumes no randomness and advances in fixed ticks, so gated
+// schedules are deterministic.
+func (th *Thread) admitGate() {
+	rt := th.rt
+	if rt.admitLimit == 0 || th.inFallback {
+		return
+	}
+	for rt.admitLimit != 0 && rt.admitActive >= rt.admitLimit {
+		th.ctx.Advance(admitPollTick)
+		th.ctx.Sync() // Advance alone never yields; let token holders run
+		rt.tel.Add(th.core, telemetry.CtrGovAdmitWaitCycles, admitPollTick)
+		rt.tel.Add(th.core, telemetry.CtrCycStall, admitPollTick)
+	}
+	rt.admitActive++
+	th.admitHeld = true
+}
+
+// admitRelease returns this thread's admission token, if it holds one. The
+// token is also released when the cap is lifted mid-section, keeping
+// admitActive consistent with a limit that came and went.
+func (th *Thread) admitRelease() {
+	if th.admitHeld {
+		th.rt.admitActive--
+		th.admitHeld = false
 	}
 }
 

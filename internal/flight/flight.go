@@ -59,6 +59,10 @@ const (
 	WatchdogTrip
 	// Escalate: Core entered the serialized-irrevocable fallback.
 	Escalate
+	// GovStep: the resilience governor moved on its mitigation ladder.
+	// Peer is the level it left, Aux the level it entered (Core is the
+	// governor's home core, 0).
+	GovStep
 
 	NumKinds
 )
@@ -76,6 +80,7 @@ var kindNames = [NumKinds]string{
 	CommitRefused: "commit-refused",
 	WatchdogTrip:  "watchdog-trip",
 	Escalate:      "escalate",
+	GovStep:       "governor-step",
 }
 
 // String returns the kind's stable kebab-case name.

@@ -139,7 +139,7 @@ func TestKindStringsAreStable(t *testing.T) {
 			t.Fatalf("Kind(%d) has no name: %q", k, s)
 		}
 	}
-	if s := NumKinds.String(); s != "Kind(12)" {
+	if s := NumKinds.String(); s != "Kind(13)" {
 		t.Fatalf("out-of-range Kind String = %q", s)
 	}
 }

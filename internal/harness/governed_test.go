@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"flextm/internal/governor"
+)
+
+// TestGovernedLivelockProbeResolvesViaLadder is the tentpole acceptance
+// test: the same symmetric duel that trips the ungoverned probe's watchdog
+// must, under the governor, be resolved by a ladder step — a CM swap or
+// admission control, never the serialize rung or the watchdog — and then
+// fully de-escalate once the duel ends.
+func TestGovernedLivelockProbeResolvesViaLadder(t *testing.T) {
+	g := governor.New(GovernedLivelockConfig())
+	_, out, err := GovernedLivelockProbe(1, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trips != 0 {
+		t.Fatalf("governed probe tripped the watchdog %d times, want 0\n%s", out.Trips, g.TransitionLog())
+	}
+	if out.Escalations != 0 {
+		t.Fatalf("governed probe escalated %d times — the duel should resolve below the serialize rung\n%s",
+			out.Escalations, g.TransitionLog())
+	}
+	// Both duelists complete every round: 2 threads x 40 rounds.
+	if out.Commits != 80 {
+		t.Fatalf("commits = %d, want 80", out.Commits)
+	}
+	trs := g.Transitions()
+	if len(trs) < 2 {
+		t.Fatalf("governor recorded %d transitions, want at least a raise and a lower", len(trs))
+	}
+	resolved := false
+	for _, tr := range trs {
+		if tr.To > tr.From && (strings.HasPrefix(tr.Action, "cm:") || strings.HasPrefix(tr.Action, "admit:")) {
+			resolved = true
+		}
+	}
+	if !resolved {
+		t.Fatalf("no raise applied a CM swap or admission control:\n%s", g.TransitionLog())
+	}
+	if g.Level() != 0 {
+		t.Fatalf("final ladder level = %d, want 0 (full de-escalation)\n%s", g.Level(), g.TransitionLog())
+	}
+	if g.LastState() != governor.Healthy {
+		t.Fatalf("final state = %v, want healthy", g.LastState())
+	}
+}
+
+// TestGovernedLivelockTransitionLogIsDeterministic: a governed run is a
+// pure function of (seed, config) — two runs with the same seed must emit
+// bit-identical transition logs and outcomes, fault injection included.
+func TestGovernedLivelockTransitionLogIsDeterministic(t *testing.T) {
+	run := func() (string, LivelockOutcome) {
+		g := governor.New(GovernedLivelockConfig())
+		_, out, err := GovernedLivelockProbe(1, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.TransitionLog(), out
+	}
+	log1, out1 := run()
+	log2, out2 := run()
+	if log1 == "" {
+		t.Fatal("governor never transitioned (probe misconfigured?)")
+	}
+	if log1 != log2 {
+		t.Fatalf("same seed produced different transition logs:\n--- run 1\n%s--- run 2\n%s", log1, log2)
+	}
+	if out1 != out2 {
+		t.Fatalf("same seed produced different outcomes: %+v vs %+v", out1, out2)
+	}
+}
+
+// TestUngovernedLivelockStillTrips pins the contrast: without the governor
+// the tight-watchdog probe resolves the duel only by tripping into the
+// serialized fallback.
+func TestUngovernedLivelockStillTrips(t *testing.T) {
+	_, out, err := LivelockProbe(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trips == 0 || out.Escalations == 0 {
+		t.Fatalf("ungoverned probe: trips=%d escalations=%d, want both > 0", out.Trips, out.Escalations)
+	}
+}

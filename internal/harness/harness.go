@@ -17,6 +17,7 @@ import (
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/flight"
+	"flextm/internal/governor"
 	"flextm/internal/observatory"
 	"flextm/internal/oracle"
 	"flextm/internal/sim"
@@ -120,6 +121,12 @@ type RunConfig struct {
 	// observe without them. Observation never perturbs the workload threads'
 	// schedule, so observed and unobserved runs produce identical results.
 	Observe *observatory.Pump
+	// Govern, if non-nil, attaches the resilience governor (FlexTM systems
+	// only): it runs as its own simulated thread right behind the pump,
+	// consuming each published frame and walking its mitigation ladder.
+	// Forces observation on — a pump (and bus) are created when Observe is
+	// nil. The governor's transitions are available on it after the run.
+	Govern *governor.Governor
 }
 
 // DefaultOps is the per-thread operation count used by the paper-replica
@@ -189,6 +196,14 @@ func Run(rc RunConfig) (Result, error) {
 		warmupTotal = DefaultWarmup
 	}
 	warmup := (warmupTotal + rc.Threads - 1) / rc.Threads
+	if rc.Govern != nil && rc.Observe == nil {
+		// The governor feeds on published frames; give it a private
+		// observation plane when the caller did not attach one.
+		rc.Observe = observatory.NewPump(observatory.Config{Bus: observatory.NewBus()})
+	}
+	if rc.Govern != nil && rc.Observe.Bus() == nil {
+		return Result{}, fmt.Errorf("harness: governor requires a pump with a bus")
+	}
 	if rc.Observe != nil {
 		rc.Metrics = true
 		rc.Flight = true
@@ -225,6 +240,12 @@ func Run(rc RunConfig) (Result, error) {
 			orc = oracle.NewRecorder()
 			fx.SetOracle(orc)
 		}
+		if rc.Govern != nil {
+			rc.Govern.Bind(fx, rc.Threads)
+			rc.Observe.SetAnnotator(rc.Govern.Annotate)
+		}
+	} else if rc.Govern != nil {
+		return Result{}, fmt.Errorf("harness: governor requires a FlexTM runtime, not %s", rc.System)
 	}
 	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
 	w := rc.Workload.New()
@@ -278,6 +299,34 @@ func Run(rc RunConfig) (Result, error) {
 				rc.Observe.Tick(ctx.Now())
 			}
 			rc.Observe.Finish(ctx.Now())
+		})
+	}
+	if rc.Govern != nil {
+		// The governor paces itself by the pump's interval and is spawned
+		// after it: at every shared virtual instant the engine resumes
+		// equal-time threads in spawn order, so the pump publishes frame k
+		// before the governor reads it. Observe consumes no randomness and
+		// issues no simulated traffic — every mitigation is a Go-side flip —
+		// so a governed run's schedule diverges from the ungoverned one only
+		// through the mitigations themselves.
+		bus := rc.Observe.Bus()
+		iv := rc.Observe.Interval()
+		e.Spawn("governor", 0, func(ctx *sim.Ctx) {
+			for {
+				live := false
+				for _, wc := range workers {
+					if !wc.Done() {
+						live = true
+						break
+					}
+				}
+				if !live {
+					break
+				}
+				ctx.Advance(iv)
+				ctx.Sync()
+				rc.Govern.Observe(bus.Latest())
+			}
 		})
 	}
 	if blocked := e.Run(); blocked != 0 {

@@ -8,6 +8,7 @@ import (
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/flight"
+	"flextm/internal/governor"
 	"flextm/internal/memory"
 	"flextm/internal/observatory"
 	"flextm/internal/oracle"
@@ -26,6 +27,9 @@ type LivelockOutcome struct {
 	// (taken the moment the pathology was detected) rather than the
 	// end-of-run rings.
 	Dumped bool
+	// Trips counts liveness-watchdog trips (telemetry; 0 when the run had
+	// no registry attached).
+	Trips uint64
 }
 
 // LivelockProbe runs a deliberately pathological cell and profiles it: two
@@ -55,11 +59,11 @@ func ObservedLivelockProbe(seed uint64, pump *observatory.Pump) (*conflictgraph.
 	sys := tmesi.New(cfg)
 	fl := flight.New(cfg.Cores, 0)
 	sys.SetFlight(fl)
-	if pump != nil {
-		// The classifier needs the telemetry registry too; the probe's own
-		// analysis keeps using the flight rings as before.
-		sys.SetTelemetry(telemetry.New(cfg.Cores))
-	}
+	// Telemetry is always attached: the live classifier needs the registry
+	// when a pump is bound, and the outcome's Trips count must not depend on
+	// whether the run was observed. Counters are passive, so the schedule is
+	// unchanged either way.
+	sys.SetTelemetry(telemetry.New(cfg.Cores))
 	inj := fault.NewInjector(fault.Config{Seed: seed}.WithRate(fault.SigFalsePos, 0.25))
 	sys.SetFaultInjector(inj)
 
@@ -146,6 +150,10 @@ func ObservedLivelockProbe(seed uint64, pump *observatory.Pump) (*conflictgraph.
 		Escalations: st.Escalations,
 		Dumped:      dumped != nil,
 	}
+	if tel := sys.Telemetry(); tel != nil {
+		snap := tel.Snapshot()
+		out.Trips = snap.Total(telemetry.CtrWatchdogTrip)
+	}
 	recs := dumped
 	if recs == nil {
 		recs = fl.Snapshot()
@@ -156,6 +164,165 @@ func ObservedLivelockProbe(seed uint64, pump *observatory.Pump) (*conflictgraph.
 	}
 	if orep := oracle.Check(orc.History(), oracle.Options{}); !orep.Ok() {
 		return rep, out, fmt.Errorf("livelock probe: %d serializability violations ([%s] %s)",
+			orep.TotalViolations, orep.Violations[0].Kind, orep.Violations[0].Summary)
+	}
+	return rep, out, nil
+}
+
+// GovernedLivelockInterval is the sampling/reaction period the governed
+// probe runs at: fine enough that the governor reacts while the duel is
+// still within the (loosened) watchdog budget.
+const GovernedLivelockInterval sim.Time = 2000
+
+// GovernedLivelockConfig is the governor configuration the governed probe
+// (and flextm -livelock -govern) uses: a short ladder ending in forced
+// serialization, reacting after a single unhealthy interval, with enough
+// cooldown that each rung gets to prove itself before the next.
+func GovernedLivelockConfig() governor.Config {
+	return governor.Config{
+		Ladder: []governor.Action{
+			{Kind: governor.ActCM, CM: "Polka"},
+			{Kind: governor.ActAdmit, Limit: 1},
+			{Kind: governor.ActSerialize},
+		},
+		RaiseAfter: 1,
+		LowerAfter: 2,
+		Cooldown:   2,
+	}
+}
+
+// GovernedLivelockProbe runs the dueling-livelock cell under the resilience
+// governor: the same symmetric Aggressive duel with injected signature
+// false positives, but with the watchdog budget loosened (24 consecutive
+// aborts instead of 5) so the governor — reacting from the observation
+// plane — gets to break the cycle first via its ladder (CM swap, then an
+// admission cap of one). After the duel the observers keep sampling a calm
+// tail of empty intervals long enough for the governor to walk fully back
+// down to level 0, proving de-escalation.
+//
+// g must be a fresh, unbound governor (GovernedLivelockConfig is the tested
+// configuration); pump may be nil, in which case a private pump and bus are
+// created at GovernedLivelockInterval. The run is oracle-checked and
+// conservation-checked like the ungoverned probe.
+func GovernedLivelockProbe(seed uint64, g *governor.Governor, pump *observatory.Pump) (*conflictgraph.Report, LivelockOutcome, error) {
+	cfg := tmesi.DefaultConfig()
+	cfg.Cores = 2
+	sys := tmesi.New(cfg)
+	fl := flight.New(cfg.Cores, 0)
+	sys.SetFlight(fl)
+	sys.SetTelemetry(telemetry.New(cfg.Cores))
+	inj := fault.NewInjector(fault.Config{Seed: seed}.WithRate(fault.SigFalsePos, 0.25))
+	sys.SetFaultInjector(inj)
+
+	rt := core.New(sys, core.Eager, cm.Aggressive{})
+	orc := oracle.NewRecorder()
+	rt.SetOracle(orc)
+	// Loose watchdog: the governor must win the race. The duel produces
+	// roughly one abort every ~700 cycles, and the governor's first rung
+	// lands within one interval (2000 cycles), so a 24-abort budget leaves
+	// the watchdog as a genuine backstop rather than the resolution path.
+	rt.SetLiveness(core.Liveness{MaxConsecAborts: 24, MaxStallCycles: 2_000_000, MaxCommitRetries: 64})
+
+	var dumped []flight.Rec
+	rt.OnFlightDump = func(c int, recs []flight.Rec) { dumped = recs }
+
+	if pump == nil {
+		pump = observatory.NewPump(observatory.Config{
+			Interval: GovernedLivelockInterval, Bus: observatory.NewBus(),
+		})
+	}
+	g.Bind(rt, 2)
+	pump.SetAnnotator(g.Annotate)
+
+	lineA := sys.Alloc().Alloc(memory.LineWords)
+	lineB := sys.Alloc().Alloc(memory.LineWords)
+	orc.SetInitial(lineA, 0)
+	orc.SetInitial(lineB, 0)
+
+	const rounds = 40
+	e := sim.NewEngine()
+	var duelists []*sim.Ctx
+	for t := 0; t < 2; t++ {
+		id := t
+		duelists = append(duelists, e.Spawn(fmt.Sprintf("duel-%d", id), 0, func(ctx *sim.Ctx) {
+			th := rt.BindThread(ctx, id)
+			first, second := lineA, lineB
+			if id == 1 {
+				first, second = lineB, lineA
+			}
+			for n := 0; n < rounds; n++ {
+				th.Atomic(func(tx tmapi.Txn) {
+					tx.Store(first, tx.Load(first)+1)
+					th.Work(200)
+					tx.Store(second, tx.Load(second)+1)
+					th.Work(200)
+				})
+			}
+		}))
+	}
+	pump.Bind(sys.Telemetry(), fl, observatory.Meta{
+		System: string(FlexTMEager), Workload: "GovernedLivelockDuel",
+		Threads: 2, Cores: cfg.Cores,
+	})
+	// Both observers run a calm tail of empty intervals past the duel's
+	// end: those classify healthy, so every rung still raised when the
+	// duel finishes is guaranteed to unwind before the run ends (structural
+	// de-escalation, not an accident of the duel schedule). 24 intervals
+	// covers the probe ladder's three rungs at LowerAfter 2 + cooldown 2,
+	// with slack.
+	const calmTail = 24
+	iv := pump.Interval()
+	duelDone := func() bool {
+		for _, d := range duelists {
+			if !d.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	e.Spawn("observatory", 0, func(ctx *sim.Ctx) {
+		for tail := calmTail; tail > 0; {
+			if duelDone() {
+				tail--
+			}
+			ctx.Advance(iv)
+			ctx.Sync()
+			pump.Tick(ctx.Now())
+		}
+		pump.Finish(ctx.Now())
+	})
+	// Spawned after the pump: equal-time threads resume in spawn order, so
+	// at each tick the pump publishes frame k before the governor reads it.
+	bus := pump.Bus()
+	e.Spawn("governor", 0, func(ctx *sim.Ctx) {
+		for tail := calmTail; tail > 0; {
+			if duelDone() {
+				tail--
+			}
+			ctx.Advance(iv)
+			ctx.Sync()
+			g.Observe(bus.Latest())
+		}
+	})
+	if blocked := e.Run(); blocked != 0 {
+		return nil, LivelockOutcome{}, fmt.Errorf("governed livelock probe: %d threads blocked", blocked)
+	}
+
+	st := rt.Stats()
+	snap := sys.Telemetry().Snapshot()
+	out := LivelockOutcome{
+		Commits:     st.Commits,
+		Aborts:      st.Aborts,
+		Escalations: st.Escalations,
+		Dumped:      dumped != nil,
+		Trips:       snap.Total(telemetry.CtrWatchdogTrip),
+	}
+	rep := conflictgraph.Analyze(fl.Snapshot(), conflictgraph.Options{Cores: cfg.Cores})
+	if got, want := sys.ReadWordRaw(lineA)+sys.ReadWordRaw(lineB), uint64(2*2*rounds); got != want {
+		return rep, out, fmt.Errorf("governed livelock probe: line sum = %d, want %d", got, want)
+	}
+	if orep := oracle.Check(orc.History(), oracle.Options{}); !orep.Ok() {
+		return rep, out, fmt.Errorf("governed livelock probe: %d serializability violations ([%s] %s)",
 			orep.TotalViolations, orep.Violations[0].Kind, orep.Violations[0].Summary)
 	}
 	return rep, out, nil

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"flextm/internal/stress"
+)
+
+// TestSoakCampaignConvergesClean is the tentpole soak guarantee: a
+// randomized governed chaos campaign holds the oracle and conservation in
+// every cell, at least one cell actually exercises the mitigation ladder,
+// and every governed run ends back at level 0.
+func TestSoakCampaignConvergesClean(t *testing.T) {
+	sc := SoakConfig{Seed: 1}
+	if testing.Short() {
+		sc.Cells = 3
+	}
+	res := Soak(sc)
+	for _, c := range res.Cells {
+		for _, f := range c.Failures {
+			t.Errorf("cell %s: %s", c.Schedule, f)
+		}
+		if c.Commits == 0 {
+			t.Errorf("cell %s committed nothing", c.Schedule)
+		}
+	}
+	if !res.Ok() {
+		t.Fatalf("soak failed %d checks", res.Failures)
+	}
+	mitigated := 0
+	for _, c := range res.Cells {
+		if c.GovTransitions > 0 {
+			mitigated++
+		}
+	}
+	if mitigated == 0 {
+		t.Fatalf("no cell exercised the ladder:\n%s", res.TransitionLog())
+	}
+	t.Logf("%d/%d cells mitigated", mitigated, len(res.Cells))
+}
+
+// TestSoakIsDeterministic: the campaign is a pure function of its config —
+// cells, outcomes, and transition logs are bit-identical across runs.
+func TestSoakIsDeterministic(t *testing.T) {
+	sc := SoakConfig{Seed: 2, Cells: 2, Rounds: 20}
+	a, b := Soak(sc), Soak(sc)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("soak diverged:\n--- a\n%s\n--- b\n%s", a.TransitionLog(), b.TransitionLog())
+	}
+}
+
+// TestSoakCellsReplayFromSchedule: each cell's schedule string replays the
+// governed run, closed loop included.
+func TestSoakCellsReplayFromSchedule(t *testing.T) {
+	res := Soak(SoakConfig{Seed: 3, Cells: 2, Rounds: 20})
+	for _, c := range res.Cells {
+		if !strings.Contains(c.Schedule, "gov") {
+			t.Fatalf("governed cell schedule %q lacks gov token", c.Schedule)
+		}
+		cfg, err := stress.ParseSchedule(c.Schedule)
+		if err != nil {
+			t.Fatalf("ParseSchedule(%q): %v", c.Schedule, err)
+		}
+		out := stress.Run(cfg)
+		if out.Commits != c.Commits || out.Aborts != c.Aborts ||
+			out.GovTransitions != c.GovTransitions || out.GovLog != c.GovLog {
+			t.Fatalf("replay of %q diverged: commits %d/%d aborts %d/%d govT %d/%d",
+				c.Schedule, out.Commits, c.Commits, out.Aborts, c.Aborts,
+				out.GovTransitions, c.GovTransitions)
+		}
+	}
+}

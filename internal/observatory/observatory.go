@@ -66,6 +66,21 @@ type Frame struct {
 	// conflict-graph analysis, nil when the run has no flight recorder.
 	Recent []flight.Rec
 	Report *conflictgraph.Report
+
+	// Gov is the resilience governor's annotation — the ladder level and
+	// health classification in force while this interval ran. Nil on
+	// ungoverned runs. Filled by the pump's annotator before publication,
+	// so consumers see it as part of the immutable frame.
+	Gov *GovSample
+}
+
+// GovSample is the governor's per-frame annotation (see internal/governor;
+// the type lives here so the observatory does not depend on its consumer).
+type GovSample struct {
+	Level       int    `json:"level"`
+	Rungs       int    `json:"rungs"`
+	State       string `json:"state"`
+	Transitions int    `json:"transitions"`
 }
 
 // IntervalCycles returns the interval's virtual-time width.
@@ -160,6 +175,17 @@ type Pump struct {
 
 	frames   []*Frame
 	flushReq atomic.Bool
+	annot    func(*Frame)
+}
+
+// SetAnnotator registers a hook that may decorate each frame (e.g. the
+// governor's ladder state) after it is built but before it is retained or
+// published. It runs inside the simulation, on the pump's thread.
+func (p *Pump) SetAnnotator(fn func(*Frame)) {
+	if p == nil {
+		return
+	}
+	p.annot = fn
 }
 
 // NewPump returns a pump with the given configuration.
@@ -247,6 +273,9 @@ func (p *Pump) sample(now sim.Time, final bool) *Frame {
 	p.prev = cum
 	p.prevAt = now
 	p.index++
+	if p.annot != nil {
+		p.annot(f)
+	}
 	if p.cfg.Retain {
 		p.frames = append(p.frames, f)
 	}

@@ -64,9 +64,15 @@ func escapeHelp(s string) string {
 }
 
 // WriteOpenMetrics writes the frame as an OpenMetrics exposition. A nil
-// frame (no sample published yet) yields a valid, empty exposition.
-func WriteOpenMetrics(w io.Writer, f *Frame) error {
+// frame (no sample published yet) yields a valid, empty exposition. bus, if
+// non-nil, contributes the observation plane's own health: how many frame
+// deliveries its subscribers refused.
+func WriteOpenMetrics(w io.Writer, f *Frame, bus *Bus) error {
 	bw := bufio.NewWriter(w)
+	if bus != nil {
+		counter(bw, "flextm_observatory_dropped_frames",
+			"Frame deliveries refused by full observatory subscriber channels.", bus.Dropped())
+	}
 	if f != nil {
 		// Run identity.
 		fmt.Fprintf(bw, "# HELP flextm_run %s\n", escapeHelp("Identity of the observed run."))
@@ -112,6 +118,17 @@ func WriteOpenMetrics(w io.Writer, f *Frame) error {
 		// only one.
 		for h := telemetry.HistID(0); h < telemetry.NumHists; h++ {
 			histogram(bw, "flextm_hist_"+metricName(h.String()), f.Cum.Hist(h))
+		}
+
+		// Resilience-governor sample, present only on governed runs.
+		if f.Gov != nil {
+			gauge(bw, "flextm_governor_level", "Mitigation-ladder level in force during the latest interval.", float64(f.Gov.Level))
+			gauge(bw, "flextm_governor_rungs", "Total rungs in the configured mitigation ladder.", float64(f.Gov.Rungs))
+			gauge(bw, "flextm_governor_transitions", "Ladder transitions recorded so far in the run.", float64(f.Gov.Transitions))
+			name := "flextm_governor_state"
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp("Latest interval health classification (1 = current state)."))
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s{state=\"%s\"} 1\n", name, escapeLabel(f.Gov.State))
 		}
 
 		// Windowed pathology counts from the incremental classifier.

@@ -36,7 +36,7 @@ func fullFrame() *Frame {
 
 func TestOpenMetricsExpositionValidates(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteOpenMetrics(&buf, fullFrame()); err != nil {
+	if err := WriteOpenMetrics(&buf, fullFrame(), nil); err != nil {
 		t.Fatal(err)
 	}
 	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
@@ -83,9 +83,72 @@ func TestOpenMetricsExpositionValidates(t *testing.T) {
 	}
 }
 
+// The observability-of-the-observer satellite: a bus with refused
+// deliveries exports its drop count, and a governed frame exports the
+// governor sample — both through the omlint grammar checker.
+func TestOpenMetricsExportsBusDropsAndGovernorSample(t *testing.T) {
+	bus := NewBus()
+	_, cancel := bus.Subscribe(1) // capacity 1: the second publish is refused
+	defer cancel()
+	f := fullFrame()
+	f.Gov = &GovSample{Level: 2, Rungs: 5, State: "abort-cycling", Transitions: 3}
+	bus.Publish(f)
+	bus.Publish(f)
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, f, bus); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	fam := exp.Family("flextm_observatory_dropped_frames")
+	if fam == nil {
+		t.Fatal("flextm_observatory_dropped_frames missing")
+	}
+	if fam.Type != "counter" {
+		t.Errorf("dropped-frames type = %q, want counter", fam.Type)
+	}
+	if len(fam.Samples) != 1 || fam.Samples[0].Name != "flextm_observatory_dropped_frames_total" ||
+		fam.Samples[0].Value != float64(bus.Dropped()) || bus.Dropped() == 0 {
+		t.Errorf("dropped-frames samples = %+v (bus.Dropped() = %d)", fam.Samples, bus.Dropped())
+	}
+	for name, want := range map[string]float64{
+		"flextm_governor_level":       2,
+		"flextm_governor_rungs":       5,
+		"flextm_governor_transitions": 3,
+	} {
+		fam := exp.Family(name)
+		if fam == nil {
+			t.Errorf("family %q missing", name)
+			continue
+		}
+		if len(fam.Samples) != 1 || fam.Samples[0].Value != want {
+			t.Errorf("%s samples = %+v, want value %g", name, fam.Samples, want)
+		}
+	}
+	if fam := exp.Family("flextm_governor_state"); fam == nil {
+		t.Error("flextm_governor_state missing")
+	} else if st, _ := fam.Samples[0].Label("state"); st != "abort-cycling" {
+		t.Errorf("governor state label = %q", st)
+	}
+	// An ungoverned frame exports no governor families.
+	buf.Reset()
+	if err := WriteOpenMetrics(&buf, fullFrame(), nil); err != nil {
+		t.Fatal(err)
+	}
+	exp, err = ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Family("flextm_governor_level") != nil || exp.Family("flextm_observatory_dropped_frames") != nil {
+		t.Error("ungoverned/bus-less exposition leaked governor or bus families")
+	}
+}
+
 func TestOpenMetricsNilFrameIsValidAndEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteOpenMetrics(&buf, nil); err != nil {
+	if err := WriteOpenMetrics(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := buf.String(); got != "# EOF\n" {
@@ -104,7 +167,7 @@ func TestOpenMetricsLabelEscapingRoundTrips(t *testing.T) {
 	prop := func(system, workload string) bool {
 		f := &Frame{Meta: Meta{System: system, Workload: workload, Threads: 4, Cores: 16}}
 		var buf bytes.Buffer
-		if err := WriteOpenMetrics(&buf, f); err != nil {
+		if err := WriteOpenMetrics(&buf, f, nil); err != nil {
 			return false
 		}
 		exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
@@ -135,7 +198,7 @@ func TestOpenMetricsLabelEscapingRoundTrips(t *testing.T) {
 
 func TestOpenMetricsHistogramBucketsAreCumulative(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteOpenMetrics(&buf, fullFrame()); err != nil {
+	if err := WriteOpenMetrics(&buf, fullFrame(), nil); err != nil {
 		t.Fatal(err)
 	}
 	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))

@@ -87,7 +87,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
-	WriteOpenMetrics(w, s.bus.Latest())
+	WriteOpenMetrics(w, s.bus.Latest(), s.bus)
 }
 
 // SnapshotJSON is the machine-readable view of a frame served at

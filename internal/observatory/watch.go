@@ -56,12 +56,22 @@ type Watcher struct {
 	// seen tracks pathology kinds already flagged, so the (new!) marker
 	// fires only on first detection.
 	seen map[string]bool
+	// bus, when attached, lets the digest report the observation plane's
+	// own losses (refused frame deliveries).
+	bus          *Bus
+	lastDropped  uint64
+	lastGovLevel int
+	lastGovSteps int
 }
 
 // NewWatcher returns a watcher printing to w.
 func NewWatcher(w io.Writer) *Watcher {
 	return &Watcher{w: w, seen: map[string]bool{}}
 }
+
+// AttachBus points the watcher at the bus feeding it, so the digest can
+// surface dropped frame deliveries as they happen.
+func (wa *Watcher) AttachBus(b *Bus) { wa.bus = b }
 
 // Observe prints one digest line for the frame.
 func (wa *Watcher) Observe(f *Frame) {
@@ -79,12 +89,46 @@ func (wa *Watcher) Observe(f *Frame) {
 	if f.Final {
 		tag = "obs[end]"
 	}
-	fmt.Fprintf(wa.w, "%s t=%-8s commits %5d (%7.1f/Mc) aborts %5d (ratio %.2f) fp %.4f  c%s a%s%s\n",
+	fmt.Fprintf(wa.w, "%s t=%-8s commits %5d (%7.1f/Mc) aborts %5d (ratio %.2f) fp %.4f  c%s a%s%s%s%s\n",
 		tag, fmtCycles(uint64(f.End)),
 		f.Delta.Total(telemetry.CtrTxnCommits), f.CommitRate(),
 		f.Delta.Total(telemetry.CtrTxnAborts), f.AbortRatio(), f.SigFPRate(),
 		sparkline(wa.commitRates), sparkline(wa.abortRatios),
-		wa.pathologyFlags(f))
+		wa.govFlags(f), wa.dropFlags(), wa.pathologyFlags(f))
+}
+
+// govFlags renders the governor annotation on governed runs: the ladder
+// level in force and the interval's health state, with a step marker the
+// moment a transition lands.
+func (wa *Watcher) govFlags(f *Frame) string {
+	g := f.Gov
+	if g == nil {
+		return ""
+	}
+	step := ""
+	if g.Transitions != wa.lastGovSteps {
+		dir := "raise"
+		if g.Level < wa.lastGovLevel {
+			dir = "lower"
+		}
+		step = fmt.Sprintf(" (%s!)", dir)
+	}
+	wa.lastGovSteps = g.Transitions
+	wa.lastGovLevel = g.Level
+	return fmt.Sprintf("  gov L%d/%d %s%s", g.Level, g.Rungs, g.State, step)
+}
+
+// dropFlags surfaces newly refused frame deliveries on the attached bus.
+func (wa *Watcher) dropFlags() string {
+	if wa.bus == nil {
+		return ""
+	}
+	d := wa.bus.Dropped()
+	if d == wa.lastDropped {
+		return ""
+	}
+	wa.lastDropped = d
+	return fmt.Sprintf("  dropped=%d", d)
 }
 
 // pathologyFlags renders the frame's detected pathologies, marking kinds

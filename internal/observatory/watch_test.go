@@ -54,6 +54,46 @@ func TestWatcherFlagsNewPathologiesOnce(t *testing.T) {
 	}
 }
 
+func TestWatcherAnnotatesGovernorAndDrops(t *testing.T) {
+	bus := NewBus()
+	_, cancel := bus.Subscribe(1)
+	defer cancel()
+	var buf strings.Builder
+	wa := NewWatcher(&buf)
+	wa.AttachBus(bus)
+
+	f0 := &Frame{Index: 0, Gov: &GovSample{Level: 0, Rungs: 5, State: "healthy"}}
+	wa.Observe(f0)
+	if line := buf.String(); !strings.Contains(line, "gov L0/5 healthy") || strings.Contains(line, "raise!") {
+		t.Fatalf("quiet governed line = %q", line)
+	}
+
+	buf.Reset()
+	wa.Observe(&Frame{Index: 1, Gov: &GovSample{Level: 1, Rungs: 5, State: "contended", Transitions: 1}})
+	if line := buf.String(); !strings.Contains(line, "gov L1/5 contended (raise!)") {
+		t.Fatalf("raise line = %q", line)
+	}
+
+	// Overflow the one-slot subscriber so the bus refuses a delivery.
+	bus.Publish(f0)
+	bus.Publish(f0)
+	buf.Reset()
+	wa.Observe(&Frame{Index: 2, Gov: &GovSample{Level: 0, Rungs: 5, State: "healthy", Transitions: 2}})
+	line := buf.String()
+	if !strings.Contains(line, "(lower!)") {
+		t.Fatalf("lower line = %q", line)
+	}
+	if !strings.Contains(line, "dropped=1") {
+		t.Fatalf("drop count missing from %q", line)
+	}
+	// Ungoverned frames stay unannotated, and a stable drop count goes quiet.
+	buf.Reset()
+	wa.Observe(&Frame{Index: 3})
+	if line := buf.String(); strings.Contains(line, "gov ") || strings.Contains(line, "dropped=") {
+		t.Fatalf("ungoverned quiet line = %q", line)
+	}
+}
+
 func TestWatcherRunStopsOnFinal(t *testing.T) {
 	var buf strings.Builder
 	wa := NewWatcher(&buf)

@@ -165,6 +165,25 @@ func (s *Sig) Clone() *Sig {
 	return n
 }
 
+// Rehash returns a signature with geometry cfg holding exactly the lines in
+// s's precise shadow set — the software half of a live widen/rehash: the
+// runtime reads the shadow set (measurement state the hardware models as a
+// victim structure) and re-inserts every member into the new filter, so the
+// result has no false negatives even mid-transaction. It panics when audit
+// is off, because without ground truth a narrower-to-wider rehash could
+// silently drop members (the Bloom bits alone cannot be enumerated).
+func (s *Sig) Rehash(cfg Config) *Sig {
+	if s.audit == nil {
+		panic("signature: Rehash requires audit mode (no precise member set)")
+	}
+	n := New(cfg)
+	n.EnableAudit()
+	for l := range s.audit {
+		n.Insert(l)
+	}
+	return n
+}
+
 // EnableAudit switches on the precise shadow set. Only lines inserted after
 // the call are shadowed, so callers should enable it while the signature is
 // empty (FlexTM enables it at telemetry attach, before any transaction).

@@ -25,10 +25,14 @@ import (
 	"flextm/internal/cm"
 	"flextm/internal/core"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
+	"flextm/internal/governor"
 	"flextm/internal/memory"
+	"flextm/internal/observatory"
 	"flextm/internal/oracle"
 	"flextm/internal/osmodel"
 	"flextm/internal/sim"
+	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
 )
@@ -58,6 +62,26 @@ type Config struct {
 	Quantum sim.Time
 	// MaxViolations caps materialized oracle witnesses (0 = oracle default).
 	MaxViolations int
+	// Governed attaches the resilience governor (fixed ladder and
+	// thresholds, GovInterval sampling): mitigations then fire mid-schedule,
+	// interleaved deterministically with the fault injector. Schedule token
+	// "gov".
+	Governed bool
+}
+
+// GovInterval is the observation/governor sampling tick on governed stress
+// runs. Fixed, so a schedule string pins the whole control loop.
+const GovInterval sim.Time = 5000
+
+// GovCalmTail is how many empty intervals the observation and governor
+// threads run past the last worker: enough for a fully raised default
+// ladder (5 rungs x (cooldown 1 + lower-after 2)) to unwind completely.
+const GovCalmTail = 24
+
+// govConfig is the governed stress cell's controller: stock ladder, but
+// hair-trigger hysteresis so short CI-sized schedules still exercise raises.
+func govConfig() governor.Config {
+	return governor.Config{RaiseAfter: 1, LowerAfter: 2, Cooldown: 1}
 }
 
 // DefaultQuantum is the preempt-storm tick when Config.Quantum is zero.
@@ -102,6 +126,12 @@ type Outcome struct {
 	// RunErr records run-level failures independent of the oracle: blocked
 	// threads or a broken conservation sum.
 	RunErr string
+
+	// Governed-run extras (zero on ungoverned runs): the transition count,
+	// the final ladder level, and the canonical transition log.
+	GovTransitions int
+	GovFinalLevel  int
+	GovLog         string
 }
 
 // Failed reports whether the run violated anything — serializability, the
@@ -132,6 +162,13 @@ func Run(cfg Config) Outcome {
 		mc.L1 = cache.Config{Sets: 4, Ways: 2, VictimSize: 2}
 	}
 	sys := tmesi.New(mc)
+	if cfg.Governed {
+		// The governor classifies from telemetry deltas and flight records,
+		// and signature widening needs audit mode — all passive, so the
+		// worker schedule itself is unchanged by attaching them.
+		sys.SetTelemetry(telemetry.New(mc.Cores))
+		sys.SetFlight(flight.New(mc.Cores, 0))
+	}
 	var inj *fault.Injector
 	if cfg.Faults.Any() {
 		fc := cfg.Faults
@@ -175,6 +212,44 @@ func Run(cfg Config) Outcome {
 		}
 		spawnPreemptStorm(e, sys, rt, inj, quantum, workerCtx, done, &doneCount)
 	}
+	var gov *governor.Governor
+	if cfg.Governed {
+		bus := observatory.NewBus()
+		pump := observatory.NewPump(observatory.Config{Interval: GovInterval, Bus: bus})
+		pump.Bind(sys.Telemetry(), sys.Flight(), observatory.Meta{
+			System: "FlexTM(" + cfg.Mode.String() + ")", Workload: "stress",
+			Threads: cfg.Threads, Cores: mc.Cores,
+		})
+		gov = governor.New(govConfig())
+		gov.Bind(rt, cfg.Threads)
+		pump.SetAnnotator(gov.Annotate)
+		// Pump before governor: at every shared tick the frame is published
+		// before the governor reads it (equal-time threads resume in spawn
+		// order). Both run GovCalmTail intervals past the last worker's
+		// finish: those empty intervals classify healthy, so any rungs still
+		// raised at the end of the schedule are guaranteed to unwind.
+		e.Spawn("observatory", 0, func(ctx *sim.Ctx) {
+			for tail := GovCalmTail; tail > 0; {
+				if doneCount >= cfg.Threads {
+					tail--
+				}
+				ctx.Advance(GovInterval)
+				ctx.Sync()
+				pump.Tick(ctx.Now())
+			}
+			pump.Finish(ctx.Now())
+		})
+		e.Spawn("governor", 0, func(ctx *sim.Ctx) {
+			for tail := GovCalmTail; tail > 0; {
+				if doneCount >= cfg.Threads {
+					tail--
+				}
+				ctx.Advance(GovInterval)
+				ctx.Sync()
+				gov.Observe(bus.Latest())
+			}
+		})
+	}
 	if blocked := e.Run(); blocked != 0 {
 		out.RunErr = fmt.Sprintf("%d threads blocked: liveness budget exceeded without escalation", blocked)
 	}
@@ -195,6 +270,11 @@ func Run(cfg Config) Outcome {
 		out.Injected = inj.Injected()
 	}
 	out.Cycles = e.MaxTime()
+	if gov != nil {
+		out.GovTransitions = len(gov.Transitions())
+		out.GovFinalLevel = gov.Level()
+		out.GovLog = gov.TransitionLog()
+	}
 	out.Report = oracle.Check(orc.History(), oracle.Options{MaxViolations: cfg.MaxViolations})
 	return out
 }
@@ -446,7 +526,7 @@ func reductions(cfg Config) []Config {
 }
 
 // Schedule renders the configuration as a compact, comma-separated replay
-// string: "s7,t4,r25,o3,a8,lazy,tiny,broken,q3000,f:sig-fp:250". Rates are
+// string: "s7,t4,r25,o3,a8,lazy,tiny,broken,gov,q3000,f:sig-fp:250". Rates are
 // basis points (1/100 of a percent). ParseSchedule inverts it.
 func (c Config) Schedule() string {
 	parts := []string{
@@ -462,6 +542,9 @@ func (c Config) Schedule() string {
 	}
 	if c.BreakWR {
 		parts = append(parts, "broken")
+	}
+	if c.Governed {
+		parts = append(parts, "gov")
 	}
 	if c.Quantum != 0 {
 		parts = append(parts, "q"+strconv.FormatUint(uint64(c.Quantum), 10))
@@ -500,6 +583,8 @@ func ParseSchedule(s string) (Config, error) {
 			c.TinyCache = true
 		case tok == "broken":
 			c.BreakWR = true
+		case tok == "gov":
+			c.Governed = true
 		case strings.HasPrefix(tok, "f:"):
 			rest := tok[2:]
 			i := strings.LastIndex(rest, ":")

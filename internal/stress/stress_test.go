@@ -2,6 +2,7 @@ package stress
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"flextm/internal/core"
@@ -160,4 +161,73 @@ func TestPreemptStormOracleChecked(t *testing.T) {
 	if out.Injected == 0 {
 		t.Fatal("storm injected nothing; the schedule never preempted")
 	}
+}
+
+// TestGovernedScheduleMitigatesDuringFaults is the fault+governor
+// interaction satellite: under injected CST-corrupting faults (commit-race
+// CST-read refusals plus sig-fp spurious CST bits), the governor must fire
+// at least one mitigation mid-schedule, the run must stay serializable and
+// conserved, and the whole closed loop must be replayable bit-for-bit from
+// the schedule string.
+func TestGovernedScheduleMitigatesDuringFaults(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Governed = true
+	cfg.Faults = fault.Config{}.
+		WithRate(fault.CommitRace, 0.5).
+		WithRate(fault.SigFalsePos, 0.2)
+
+	// The schedule string carries the governed flag.
+	back, err := ParseSchedule(cfg.Schedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Governed || back.Schedule() != cfg.Schedule() {
+		t.Fatalf("governed schedule does not round-trip: %q -> %q", cfg.Schedule(), back.Schedule())
+	}
+
+	out := Run(cfg)
+	if out.Failed() {
+		var buf bytes.Buffer
+		out.Report.Print(&buf)
+		t.Fatalf("governed fault run failed: %s\n%s", out.RunErr, buf.String())
+	}
+	if out.GovTransitions == 0 {
+		t.Fatalf("no mitigation fired during the fault storm (schedule %q)\ncommits=%d aborts=%d",
+			out.Schedule, out.Commits, out.Aborts)
+	}
+	if out.GovLog == "" {
+		t.Fatal("governed run produced no transition log")
+	}
+	if out.GovFinalLevel != 0 {
+		t.Fatalf("governor did not converge: final level %d\n%s", out.GovFinalLevel, out.GovLog)
+	}
+
+	// Replay from the schedule string: the control loop is part of the
+	// replay contract, transition log included.
+	replay := Run(back)
+	if replay.GovLog != out.GovLog || replay.GovTransitions != out.GovTransitions ||
+		replay.GovFinalLevel != out.GovFinalLevel ||
+		replay.Commits != out.Commits || replay.Aborts != out.Aborts ||
+		replay.Cycles != out.Cycles || replay.Injected != out.Injected {
+		t.Fatalf("replay diverged:\n--- run\n%+v\n%s\n--- replay\n%+v\n%s",
+			outSummary(out), out.GovLog, outSummary(replay), replay.GovLog)
+	}
+
+	// The same seed ungoverned: attaching the governor must not be able to
+	// break the oracle either way, and the ungoverned twin gives the A/B
+	// contrast that the mitigations actually engaged.
+	ungov := cfg
+	ungov.Governed = false
+	u := Run(ungov)
+	if u.Failed() {
+		t.Fatalf("ungoverned twin failed: %s", u.RunErr)
+	}
+	if u.GovTransitions != 0 || u.GovLog != "" {
+		t.Fatal("ungoverned run carries governor state")
+	}
+}
+
+func outSummary(o Outcome) string {
+	return fmt.Sprintf("commits=%d aborts=%d esc=%d cycles=%d inj=%d govT=%d govL=%d",
+		o.Commits, o.Aborts, o.Escalations, o.Cycles, o.Injected, o.GovTransitions, o.GovFinalLevel)
 }

@@ -88,6 +88,11 @@ const (
 	CtrEscalation      // entries into the serialized fallback mode
 	CtrEscalatedCommit // commits completed inside the fallback
 
+	// Resilience governor (internal/governor).
+	CtrGovStep           // mitigation-ladder transitions (raises and lowers)
+	CtrGovAdmitWaitCycles // cycles threads spent parked at the admission gate
+	CtrGovSigWiden       // live signature widen/rehash operations
+
 	NumCounters
 )
 
@@ -134,6 +139,10 @@ var counterNames = [NumCounters]string{
 	CtrWatchdogTrip:     "watchdog-trip",
 	CtrEscalation:       "escalation",
 	CtrEscalatedCommit:  "escalated-commit",
+
+	CtrGovStep:            "gov-step",
+	CtrGovAdmitWaitCycles: "gov-admit-wait-cycles",
+	CtrGovSigWiden:        "gov-sig-widen",
 }
 
 // String returns the counter's stable snake-case name.
@@ -161,6 +170,7 @@ var groups = []struct {
 		CtrCMWaitCycles, CtrCMBackoffCycles}},
 	{"faults & liveness", []Counter{CtrFaultInjected, CtrWatchdogTrip, CtrEscalation,
 		CtrEscalatedCommit}},
+	{"governor", []Counter{CtrGovStep, CtrGovAdmitWaitCycles, CtrGovSigWiden}},
 }
 
 // HistID identifies one per-core cycle histogram.

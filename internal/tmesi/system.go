@@ -329,6 +329,35 @@ func (s *System) InstallSummary(rs, ws *signature.Sig, hook func(requestor int, 
 	s.summaryR, s.summaryW, s.summaryHook = rs, ws, hook
 }
 
+// WidenSignatures swaps every core's read and write signature to a new
+// geometry, re-inserting each filter's precise member set so no conflict
+// information is lost mid-transaction (Sig.Rehash). All cores change
+// together — Intersects/Union/CopyFrom require matching geometries, so a
+// partial widen would panic at the next cross-core test. It refuses (with
+// an error, not a panic: the governor retries on its next tick) when audit
+// mode is off (no ground truth to rehash from — practically, when telemetry
+// is detached) or while OS summary signatures are installed (they were
+// built in the old geometry and would mismatch every per-core test).
+func (s *System) WidenSignatures(cfg signature.Config) error {
+	if s.summaryR != nil || s.summaryW != nil {
+		return fmt.Errorf("tmesi: cannot rehash signatures while summary signatures are installed")
+	}
+	for i := range s.cores {
+		if !s.cores[i].rsig.AuditEnabled() || !s.cores[i].wsig.AuditEnabled() {
+			return fmt.Errorf("tmesi: signature rehash requires audit mode (attach telemetry)")
+		}
+	}
+	for i := range s.cores {
+		s.cores[i].rsig = s.cores[i].rsig.Rehash(cfg)
+		s.cores[i].wsig = s.cores[i].wsig.Rehash(cfg)
+		s.tel.Inc(i, telemetry.CtrGovSigWiden)
+	}
+	// Future consumers of the geometry (overflow Osig construction, summary
+	// building, width ablations) must see the new shape.
+	s.cfg.Sig = cfg
+	return nil
+}
+
 // BeginTxn puts core into transactional mode. Signatures and CSTs are
 // expected to be clear (they are after CASCommit/AbortFlash).
 func (s *System) BeginTxn(core int) {
