@@ -39,9 +39,11 @@ import (
 	"syscall"
 	"time"
 
+	"flextm/internal/causal"
 	"flextm/internal/conflictgraph"
 	"flextm/internal/core"
 	"flextm/internal/fault"
+	"flextm/internal/flight"
 	"flextm/internal/governor"
 	"flextm/internal/harness"
 	"flextm/internal/observatory"
@@ -67,6 +69,9 @@ func main() {
 	profile := flag.Bool("profile", false, "record a flight-recorder history and print the conflict-graph contention profile")
 	profileDOT := flag.String("profile-dot", "", "write the conflict graph in Graphviz DOT form to FILE (implies -profile)")
 	profileJSON := flag.String("profile-json", "", "write the full conflict-graph report as JSON to FILE (implies -profile)")
+	causalOn := flag.Bool("causal", false, "reconstruct the attempt DAG and print the makespan critical path with per-line blame")
+	causalJSON := flag.String("causal-json", "", "write the causal report (critical path, blame, wasted-work ledger) as JSON to FILE (implies -causal)")
+	causalDOT := flag.String("causal-dot", "", "write the critical path in Graphviz DOT form to FILE (implies -causal)")
 	oracleOn := flag.Bool("oracle", false, "attach the serializability oracle to the run and print its verdict (FlexTM systems)")
 	stressN := flag.Int("stress", 0, "run N seeds of the oracle-checked stress explorer instead of a workload")
 	seed := flag.Uint64("seed", 1, "base seed for -stress")
@@ -85,6 +90,10 @@ func main() {
 	if *profileDOT != "" || *profileJSON != "" {
 		*profile = true
 	}
+	if *causalJSON != "" || *causalDOT != "" {
+		*causalOn = true
+	}
+	causalCfg := causalArtifacts{on: *causalOn, jsonPath: *causalJSON, dotPath: *causalDOT}
 
 	if *list {
 		for _, f := range workloads.All() {
@@ -105,7 +114,7 @@ func main() {
 	// observe or something to flush on interrupt; it rides the simulation as
 	// its own thread (harness.RunConfig.Observe), so sampling is
 	// deterministic and cannot perturb the run.
-	obsOn := *httpAddr != "" || *watch || *livelock || *metrics || *profile || *traceOut != ""
+	obsOn := *httpAddr != "" || *watch || *livelock || *metrics || *profile || *causalOn || *traceOut != ""
 	var (
 		bus            *observatory.Bus
 		pump           *observatory.Pump
@@ -204,9 +213,9 @@ func main() {
 
 	if *livelock {
 		if gov != nil {
-			runGovernedLivelock(*seed, gov, pump, watchDone, *governLog)
+			runGovernedLivelock(*seed, gov, pump, watchDone, *governLog, causalCfg)
 		} else {
-			runLivelock(*seed, pump, watchDone)
+			runLivelock(*seed, pump, watchDone, causalCfg)
 		}
 		lingerPhase()
 		return
@@ -260,6 +269,20 @@ func main() {
 				}
 			}
 		}
+		if fr.Causal != nil {
+			fmt.Fprintln(os.Stderr, "-- causal critical path at interrupt (window) --")
+			fr.Causal.Print(os.Stderr)
+			if *causalDOT != "" {
+				if err := writeCausalDOT(*causalDOT, fr.Causal); err == nil {
+					fmt.Fprintf(os.Stderr, "causal      partial graph -> %s\n", *causalDOT)
+				}
+			}
+			if *causalJSON != "" {
+				if err := writeCausalJSON(*causalJSON, fr.Causal); err == nil {
+					fmt.Fprintf(os.Stderr, "causal      partial report -> %s\n", *causalJSON)
+				}
+			}
+		}
 	}
 	res, err := harness.Run(harness.RunConfig{
 		System:       harness.SystemName(*system),
@@ -270,7 +293,7 @@ func main() {
 		Verify:       *verify,
 		Tracer:       rec,
 		Metrics:      *metrics,
-		Flight:       *profile,
+		Flight:       *profile || *causalOn,
 		Faults:       faultCfg,
 		Oracle:       *oracleOn,
 		Observe:      pump,
@@ -342,6 +365,9 @@ func main() {
 			fmt.Printf("profile     -> %s\n", *profileJSON)
 		}
 	}
+	if *causalOn {
+		emitCausal(causalCfg, res.Flight.Snapshot(), machine.Cores)
+	}
 	if gov != nil {
 		printGovernor(gov)
 		if err := writeGovLog(*governLog, gov); err != nil {
@@ -377,7 +403,7 @@ func waitWatch(done chan struct{}) {
 // runLivelock runs the dueling-livelock probe under the observation plane:
 // the classic demonstration that the watch mode flags an abort cycle while
 // the duel is still running, before the watchdog trips.
-func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}) {
+func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}, causalCfg causalArtifacts) {
 	rep, out, err := harness.ObservedLivelockProbe(seed, pump)
 	waitWatch(watchDone)
 	if err != nil {
@@ -387,6 +413,7 @@ func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}) {
 	fmt.Printf("livelock    commits %d, aborts %d, escalations %d (watchdog dump: %v)\n",
 		out.Commits, out.Aborts, out.Escalations, out.Dumped)
 	rep.Print(os.Stdout)
+	emitCausal(causalCfg, out.Recs, 0)
 	if !rep.Has(conflictgraph.AbortCycle) {
 		fmt.Fprintln(os.Stderr, "flextm: livelock probe did not produce an abort cycle")
 		os.Exit(1)
@@ -396,7 +423,7 @@ func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}) {
 // runGovernedLivelock runs the same duel under the resilience governor with
 // a loosened watchdog: the ladder, not the watchdog, must break the cycle,
 // and by run end every rung must have unwound. Either failing exits 1.
-func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.Pump, watchDone chan struct{}, logPath string) {
+func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.Pump, watchDone chan struct{}, logPath string, causalCfg causalArtifacts) {
 	rep, out, err := harness.GovernedLivelockProbe(seed, gov, pump)
 	waitWatch(watchDone)
 	if err != nil {
@@ -411,6 +438,7 @@ func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.
 		os.Exit(1)
 	}
 	rep.Print(os.Stdout)
+	emitCausal(causalCfg, out.Recs, 0)
 	if out.Trips > 0 {
 		fmt.Fprintf(os.Stderr, "flextm: watchdog tripped %d times; the ladder should have resolved the duel\n", out.Trips)
 		os.Exit(1)
@@ -524,6 +552,68 @@ func writeReportJSON(path string, rep *conflictgraph.Report) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// causalArtifacts carries the -causal flag family to whichever run path
+// ends up owning the flight records.
+type causalArtifacts struct {
+	on       bool
+	jsonPath string
+	dotPath  string
+}
+
+// emitCausal reconstructs the attempt DAG from the run's flight records,
+// prints the critical-path report, and writes any requested artifacts.
+// cores may be 0: Analyze then sizes the machine from the records.
+func emitCausal(cfg causalArtifacts, recs []flight.Rec, cores int) {
+	if !cfg.on {
+		return
+	}
+	fmt.Println("-- causal critical path --")
+	rep := causal.Analyze(recs, causal.Options{Cores: cores})
+	if rep == nil {
+		fmt.Println("(no flight records)")
+		return
+	}
+	rep.Print(os.Stdout)
+	if cfg.dotPath != "" {
+		if err := writeCausalDOT(cfg.dotPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("causal      graph -> %s\n", cfg.dotPath)
+	}
+	if cfg.jsonPath != "" {
+		if err := writeCausalJSON(cfg.jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "flextm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("causal      report -> %s\n", cfg.jsonPath)
+	}
+}
+
+// writeCausalDOT dumps the attempt DAG with the critical path highlighted.
+func writeCausalDOT(path string, rep *causal.Report) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep.WriteDOT(out)
+	return out.Close()
+}
+
+// writeCausalJSON dumps the causal report in its canonical (byte-stable
+// per seed) JSON form.
+func writeCausalJSON(path string, rep *causal.Report) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(out); err != nil {
 		out.Close()
 		return err
 	}

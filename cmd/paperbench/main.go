@@ -53,6 +53,7 @@ import (
 
 	"flextm/internal/area"
 	"flextm/internal/benchfmt"
+	"flextm/internal/causal"
 	"flextm/internal/conflictgraph"
 	"flextm/internal/core"
 	"flextm/internal/fault"
@@ -72,7 +73,7 @@ import (
 var out io.Writer = os.Stdout
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos, govern, oracle")
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 5mp, overflow, sig, cm, logtm, chaos, govern, oracle, causal")
 	table := flag.String("table", "", "table to regenerate: 2, 4")
 	all := flag.Bool("all", false, "regenerate everything")
 	quick := flag.Bool("quick", false, "small sweep for a fast smoke run")
@@ -208,6 +209,11 @@ func main() {
 		ran = true
 		oracleSweep(*quick)
 	}
+	if *all || *fig == "causal" {
+		ran = true
+		currentFig = "causal"
+		causalFigure(sc)
+	}
 	if *all || *table == "2" {
 		ran = true
 		fmt.Fprintln(out, "== Table 2: area estimation (65nm) ==")
@@ -322,9 +328,23 @@ func newBenchCell(figure string, res harness.Result, cores int) benchfmt.Cell {
 		c.Attribution = &a
 	}
 	if res.Flight != nil {
-		rep := conflictgraph.Analyze(res.Flight.Snapshot(), conflictgraph.Options{Cores: cores})
+		recs := res.Flight.Snapshot()
+		rep := conflictgraph.Analyze(recs, conflictgraph.Options{Cores: cores})
 		if counts := rep.PathologyCounts(); len(counts) > 0 {
 			c.Pathologies = counts
+		}
+		if crep := causal.Analyze(recs, causal.Options{Cores: cores, TopBlame: 3}); crep != nil {
+			cp := &benchfmt.CriticalPath{
+				PathCycles: crep.PathCycles,
+				Makespan:   uint64(crep.Makespan),
+				Coverage:   crep.Coverage,
+			}
+			for _, b := range crep.Blame {
+				cp.TopBlame = append(cp.TopBlame, benchfmt.BlameEntry{
+					Line: uint64(b.Line), Cycles: b.Cycles, FPCycles: b.FPCycles,
+				})
+			}
+			c.CriticalPath = cp
 		}
 	}
 	return c
@@ -699,6 +719,53 @@ func oracleSweep(quick bool) {
 	if failed {
 		fatal(fmt.Errorf("oracle sweep failed"))
 	}
+}
+
+// causalFigure sweeps a contention-heavy pair of workloads over both
+// conflict-management modes, reconstructing the attempt DAG of every cell
+// and tabulating how much of its makespan the critical path explains and
+// which lines that path blames. The cells land in the bench artifact (via
+// OnResult / newBenchCell) with their criticalPath digests attached.
+func causalFigure(sc harness.SweepConfig) {
+	fmt.Fprintln(out, "== Causal: critical path vs makespan (top-3 blame lines per cell) ==")
+	fmt.Fprintf(out, "%-14s %-14s %7s %12s %12s %8s  %s\n",
+		"system", "workload", "threads", "path(cyc)", "makespan", "cover", "top blame (share of path)")
+	for _, name := range []string{"RBTree", "RandomGraph"} {
+		f, _ := workloads.ByName(name)
+		for _, sys := range []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy} {
+			for _, th := range sc.Threads {
+				res, err := harness.Run(harness.RunConfig{
+					System: sys, Workload: f, Threads: th,
+					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
+					Metrics: sc.Metrics, Flight: true,
+				})
+				if err != nil {
+					fatal(err)
+				}
+				if sc.OnResult != nil {
+					sc.OnResult(res)
+				}
+				rep := causal.Analyze(res.Flight.Snapshot(),
+					causal.Options{Cores: sc.Machine.Cores, TopBlame: 3})
+				if rep == nil {
+					continue
+				}
+				blame := ""
+				for i, b := range rep.Blame {
+					if i > 0 {
+						blame += "  "
+					}
+					blame += fmt.Sprintf("0x%x %.0f%%", b.Line, b.Share*100)
+					if b.FPCycles > 0 {
+						blame += fmt.Sprintf(" (fp %.0f%%)", float64(b.FPCycles)/float64(b.Cycles)*100)
+					}
+				}
+				fmt.Fprintf(out, "%-14s %-14s %7d %12d %12d %7.1f%%  %s\n",
+					sys, name, th, rep.PathCycles, uint64(rep.Makespan), rep.Coverage*100, blame)
+			}
+		}
+	}
+	fmt.Fprintln(out)
 }
 
 func table4(sc harness.SweepConfig) {

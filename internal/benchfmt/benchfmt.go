@@ -41,6 +41,27 @@ type Cell struct {
 	// Pathologies counts detected contention pathologies by kind (present
 	// when the sweep ran with the flight recorder attached).
 	Pathologies map[string]uint64 `json:"pathologies,omitempty"`
+	// CriticalPath summarizes the causal makespan analysis (present when
+	// the sweep ran with the flight recorder attached).
+	CriticalPath *CriticalPath `json:"criticalPath,omitempty"`
+}
+
+// CriticalPath is the causal analysis digest of one cell: how much of the
+// run's makespan the longest dependent chain explains, and which lines it
+// blames. A plain-data mirror of internal/causal's report, so artifacts
+// stay decodable without importing the analyzer.
+type CriticalPath struct {
+	PathCycles uint64       `json:"pathCycles"`
+	Makespan   uint64       `json:"makespan"`
+	Coverage   float64      `json:"coverage"`
+	TopBlame   []BlameEntry `json:"topBlame,omitempty"`
+}
+
+// BlameEntry is one blamed line on a cell's critical path.
+type BlameEntry struct {
+	Line     uint64 `json:"line"`
+	Cycles   uint64 `json:"cycles"`
+	FPCycles uint64 `json:"fpCycles,omitempty"`
 }
 
 // Key identifies a cell across artifacts.
@@ -256,6 +277,9 @@ func metricGaps(key string, oc, nc Cell) []string {
 	}
 	if (len(oc.Pathologies) > 0) != (len(nc.Pathologies) > 0) {
 		gaps = append(gaps, fmt.Sprintf("%s: pathologies %s", key, side(len(oc.Pathologies) > 0)))
+	}
+	if (oc.CriticalPath != nil) != (nc.CriticalPath != nil) {
+		gaps = append(gaps, fmt.Sprintf("%s: criticalPath %s", key, side(oc.CriticalPath != nil)))
 	}
 	return gaps
 }

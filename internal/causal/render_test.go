@@ -1,0 +1,86 @@
+package causal
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flextm/internal/flight"
+)
+
+// killChain is the shared render fixture: core 1 kills core 0 once, core 0
+// retries to the last commit.
+func killChain() *Report {
+	var s stream
+	s.add(0, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(10, 1, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(20, 1, flight.AbortEnemy, 0, flight.AuxFP, 0x40, 0)
+	s.add(25, 0, flight.TxnAbort, -1, 0, 0, 0)
+	s.add(40, 1, flight.TxnCommit, -1, 0, 0, 0)
+	s.add(60, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(100, 0, flight.TxnCommit, -1, 0, 0, 0)
+	return Analyze(s.recs, Options{Cores: 2})
+}
+
+func TestWriteDOTMarksCriticalPath(t *testing.T) {
+	var buf bytes.Buffer
+	killChain().WriteDOT(&buf)
+	dot := buf.String()
+	for _, want := range []string{
+		"digraph causal", "critical path", "color=red",
+		"kill 0x40 (FP)", "style=dashed", "blame:",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestWriteChromeHasFlowAndPathTrack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := killChain().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Cat   string  `json:"cat"`
+			Phase string  `json:"ph"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+			ID    uint64  `json:"id"`
+			BP    string  `json:"bp"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var flowS, flowF, pathSegs int
+	var sID, fID uint64
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Phase == "s" && e.Cat == "abort-lineage":
+			flowS++
+			sID = e.ID
+			if e.TID != 1 || e.TS != 20 {
+				t.Errorf("flow start = %+v, want killer tid 1 at ts 20", e)
+			}
+		case e.Phase == "f" && e.Cat == "abort-lineage":
+			flowF++
+			fID = e.ID
+			if e.TID != 0 || e.TS != 25 || e.BP != "e" {
+				t.Errorf("flow finish = %+v, want victim tid 0 at ts 25 with bp e", e)
+			}
+		case e.Phase == "X" && e.PID == 2:
+			pathSegs++
+		}
+	}
+	if flowS != 1 || flowF != 1 || sID != fID || sID == 0 {
+		t.Fatalf("flow pair: %d starts, %d finishes, ids %d/%d", flowS, flowF, sID, fID)
+	}
+	if pathSegs == 0 {
+		t.Fatal("no critical-path track segments (pid 2)")
+	}
+}

@@ -221,6 +221,7 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 	begun := make([]bool, n)
 	abortRun := make([]int, n)
 	runKillers := make([]uint64, n) // killers seen during the current abort run
+	killedBy := make([]uint64, n)   // killers that already hit the current victim attempt
 	starved := map[int]*Pathology{}
 
 	for _, r := range recs {
@@ -232,6 +233,7 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 		case flight.TxnBegin:
 			begun[c] = true
 			conflicted[c] = 0
+			killedBy[c] = 0
 			touched[c] = touched[c][:0]
 		case flight.TxnCommit:
 			stats[c].Commits++
@@ -239,6 +241,7 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 			abortRun[c] = 0
 			runKillers[c] = 0
 			conflicted[c] = 0
+			killedBy[c] = 0
 			touched[c] = touched[c][:0]
 		case flight.TxnAbort:
 			stats[c].Aborts++
@@ -248,6 +251,7 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 			}
 			touched[c] = touched[c][:0]
 			conflicted[c] = 0
+			killedBy[c] = 0
 			abortRun[c]++
 			if abortRun[c] >= opts.StarvationRun {
 				p := starved[c]
@@ -263,7 +267,13 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 				continue
 			}
 			stats[c].Kills++
-			kills[[2]int{c, v}]++
+			// Only the first CAS on a victim attempt lands; later parallel
+			// kills of the same pair in the same attempt are no-ops and must
+			// not inflate the abort edge (and with it Tarjan's cycle weight).
+			if killedBy[v]&(1<<uint(c)) == 0 {
+				killedBy[v] |= 1 << uint(c)
+				kills[[2]int{c, v}]++
+			}
 			runKillers[v] |= 1 << uint(c)
 			// Friendly fire: the victim's current attempt has no recorded
 			// conflict with the killer — the CST bit that motivated this
@@ -283,7 +293,7 @@ func Analyze(recs []flight.Rec, opts Options) *Report {
 				e = &ConflictEdge{From: c, To: p}
 				edges[[2]int{c, p}] = e
 			}
-			switch cst.Kind(r.Aux) {
+			switch cst.Kind(r.Aux & flight.AuxMask) {
 			case cst.RW:
 				e.RW++
 			case cst.WR:

@@ -84,6 +84,50 @@ func TestAbortCycleDetected(t *testing.T) {
 	}
 }
 
+// TestParallelKillEdgesDeduplicated: a duel whose kill CASes land twice
+// against the same victim attempt (the second CAS finds the victim already
+// dead — common when both lines of a two-line duel conflict in one window)
+// must contribute ONE abort edge per attempt, not two, so the Tarjan cycle
+// weight counts attempts killed rather than CAS attempts. A fresh attempt
+// by the same victim makes the next kill count again.
+func TestParallelKillEdgesDeduplicated(t *testing.T) {
+	var s stream
+	for round := 0; round < 3; round++ {
+		s.add(0, flight.TxnBegin, -1, 0, 0)
+		s.add(1, flight.TxnBegin, -1, 0, 0)
+		s.add(0, flight.CSTSet, 1, uint8(cst.WW), 0x40)
+		s.add(0, flight.CSTSet, 1, uint8(cst.WW), 0x80)
+		// Both contended lines raise a kill against the same attempt.
+		s.add(0, flight.AbortEnemy, 1, 0, 0x40)
+		s.add(0, flight.AbortEnemy, 1, 0, 0x80)
+		s.add(1, flight.TxnAbort, -1, 0, 0)
+		s.add(1, flight.CSTSet, 0, uint8(cst.WW), 0x40)
+		s.add(1, flight.AbortEnemy, 0, 0, 0x40)
+		s.add(0, flight.TxnAbort, -1, 0, 0)
+	}
+	rep := Analyze(s.recs, Options{Cores: 4})
+	if len(rep.AbortEdges) != 2 {
+		t.Fatalf("abort edges = %+v, want 2", rep.AbortEdges)
+	}
+	for _, e := range rep.AbortEdges {
+		if e.Kills != 3 {
+			t.Fatalf("edge %d->%d kills = %d, want 3 (one per killed attempt, duplicates dropped): %+v",
+				e.Killer, e.Victim, e.Kills, rep.AbortEdges)
+		}
+	}
+	// The raw per-core kill counter still sees every CAS.
+	if rep.PerCore[0].Kills != 6 {
+		t.Fatalf("core 0 raw kills = %d, want 6", rep.PerCore[0].Kills)
+	}
+	// 3 deduplicated kills each way crosses the cycle threshold.
+	if !rep.Has(AbortCycle) {
+		t.Fatalf("abort cycle not detected after dedup: %+v", rep.Pathologies)
+	}
+	if got := rep.PathologyCounts()[string(AbortCycle)]; got != 6 {
+		t.Fatalf("cycle kill count = %d, want 6 (deduplicated)", got)
+	}
+}
+
 // TestCycleRequiresMinKills: a single reciprocal kill is contention, not
 // livelock — it must stay below the CycleMinKills default of 2.
 func TestCycleRequiresMinKills(t *testing.T) {

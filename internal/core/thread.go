@@ -124,6 +124,7 @@ func (th *Thread) Atomic(body func(tmapi.Txn)) {
 		// Retry back-off is stall-wait: the thread sits between attempts.
 		th.rt.tel.Add(th.core, telemetry.CtrCMBackoffCycles, backoff)
 		th.rt.tel.Add(th.core, telemetry.CtrCycStall, backoff)
+		th.rt.fl.RecDur(th.core, th.ctx.Now(), flight.Backoff, -1, clamp8(th.consecAborts), 0, backoff)
 	}
 }
 
@@ -312,6 +313,14 @@ func clamp8(n int) uint8 {
 	return uint8(n)
 }
 
+// fpAux maps a conflict's false-positive verdict onto the flight Aux bit.
+func fpAux(fp bool) uint8 {
+	if fp {
+		return flight.AuxFP
+	}
+	return 0
+}
+
 // abortPanic unwinds the current transaction body.
 func abortPanic() { panic(tmapi.AbortError{}) }
 
@@ -407,13 +416,13 @@ func (th *Thread) resolveConflict(c tmesi.Conflict) {
 			rt.tel.Inc(th.core, telemetry.CtrCMAbortSelf)
 			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-self", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortSelf, c.Responder)
-			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortSelf, c.Responder, 0, 0)
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortSelf, c.Responder, fpAux(c.FP), c.Line)
 			abortPanic()
 		case cm.AbortEnemy:
 			rt.tel.Inc(th.core, telemetry.CtrCMAbortEnemy)
 			rt.tel.Emit(telemetry.Event{At: th.ctx.Now(), Core: th.core, Mech: "cm", What: "abort-enemy", Arg: int64(c.Responder)})
 			th.emit(trace.ConflictAbortEnemy, c.Responder)
-			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortEnemy, c.Responder, 0, 0)
+			rt.fl.Rec(th.core, th.ctx.Now(), flight.AbortEnemy, c.Responder, fpAux(c.FP), c.Line)
 			debugf("t=%d c=%d CM abort-enemy %d", th.ctx.Now(), th.core, c.Responder)
 			th.abortRemote(c.Responder)
 			if h := rt.onAbortEnemy; h != nil {
@@ -427,6 +436,7 @@ func (th *Thread) resolveConflict(c tmesi.Conflict) {
 			rt.tel.Observe(th.core, telemetry.HistCMWaitCycles, wait)
 			th.stallCycles += wait
 			th.ctx.Advance(wait)
+			rt.fl.RecDur(th.core, th.ctx.Now(), flight.CMStall, c.Responder, fpAux(c.FP), c.Line, wait)
 			status := th.enemyStatus(c.Responder)
 			switch status {
 			case TSWActive:

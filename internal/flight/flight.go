@@ -63,6 +63,12 @@ const (
 	// Peer is the level it left, Aux the level it entered (Core is the
 	// governor's home core, 0).
 	GovStep
+	// CMStall: the contention manager held Core for Dur cycles behind Peer
+	// (the enemy it waited on); Line is the conflicting line.
+	CMStall
+	// Backoff: Core sat out Dur cycles of post-abort retry back-off. Aux is
+	// the consecutive-abort count, clamped to 255.
+	Backoff
 
 	NumKinds
 )
@@ -81,7 +87,19 @@ var kindNames = [NumKinds]string{
 	WatchdogTrip:  "watchdog-trip",
 	Escalate:      "escalate",
 	GovStep:       "governor-step",
+	CMStall:       "cm-stall",
+	Backoff:       "backoff",
 }
+
+// AuxFP is set in Aux, alongside the kind-specific low bits, when the
+// conflict behind the record was a signature false positive (Bloom aliasing
+// detected by audit mode, or an injected fault.SigFalsePos). It applies to
+// CSTSet, AbortEnemy, AbortSelf, and CMStall records; mask with AuxMask to
+// recover the low operand (e.g. the cst.Kind of a CSTSet).
+const (
+	AuxFP   uint8 = 0x80
+	AuxMask uint8 = 0x7f
+)
 
 // String returns the kind's stable kebab-case name.
 func (k Kind) String() string {
@@ -96,12 +114,13 @@ func (k Kind) String() string {
 // boxing.
 type Rec struct {
 	At   sim.Time        // virtual time of the enclosing operation
+	Dur  sim.Time        // sub-phase duration (CMStall, Backoff); 0 otherwise
 	Line memory.LineAddr // line operand (0 when not applicable)
 	Seq  uint64          // global record order (ties in At are common)
 	Core int16           // the core the event happened on
 	Peer int16           // the other core (-1 when not applicable)
 	Kind Kind
-	Aux  uint8 // kind-specific operand (cst.Kind, abort count, ...)
+	Aux  uint8 // kind-specific operand (cst.Kind, abort count, FP bit, ...)
 }
 
 // Recorder is the per-core ring store. A nil *Recorder is valid and means
@@ -109,11 +128,12 @@ type Rec struct {
 type Recorder struct {
 	rings   [][]Rec
 	written []uint64 // total records ever written per core
+	lost    []uint64 // highest Seq overwritten by wrap-around, per core
 	seq     uint64
 }
 
 // DefaultPerCore is the default ring capacity per core: deep enough to hold
-// the full conflict history of the paper-scale runs, small enough (32 B per
+// the full conflict history of the paper-scale runs, small enough (40 B per
 // record) to stay resident.
 const DefaultPerCore = 4096
 
@@ -126,6 +146,7 @@ func New(cores, perCore int) *Recorder {
 	r := &Recorder{
 		rings:   make([][]Rec, cores),
 		written: make([]uint64, cores),
+		lost:    make([]uint64, cores),
 	}
 	for i := range r.rings {
 		r.rings[i] = make([]Rec, perCore)
@@ -139,6 +160,12 @@ func (r *Recorder) Enabled() bool { return r != nil }
 // Rec records one event on core. The oldest record of that core's ring is
 // overwritten when full. Safe (and free) on a nil recorder.
 func (r *Recorder) Rec(core int, at sim.Time, k Kind, peer int, aux uint8, line memory.LineAddr) {
+	r.RecDur(core, at, k, peer, aux, line, 0)
+}
+
+// RecDur records one event carrying a sub-phase duration (CMStall, Backoff).
+// Safe (and free) on a nil recorder.
+func (r *Recorder) RecDur(core int, at sim.Time, k Kind, peer int, aux uint8, line memory.LineAddr, dur sim.Time) {
 	if r == nil {
 		return
 	}
@@ -146,8 +173,14 @@ func (r *Recorder) Rec(core int, at sim.Time, k Kind, peer int, aux uint8, line 
 	n := r.written[core]
 	r.written[core] = n + 1
 	r.seq++
-	ring[n%uint64(len(ring))] = Rec{
-		At: at, Line: line, Seq: r.seq,
+	slot := &ring[n%uint64(len(ring))]
+	if n >= uint64(len(ring)) {
+		// Slots are overwritten in Seq order, so the record being evicted
+		// carries the highest lost Seq for this core so far.
+		r.lost[core] = slot.Seq
+	}
+	*slot = Rec{
+		At: at, Dur: dur, Line: line, Seq: r.seq,
 		Core: int16(core), Peer: int16(peer), Kind: k, Aux: aux,
 	}
 }
@@ -200,14 +233,18 @@ func (r *Recorder) Snapshot() []Rec {
 
 // SnapshotSince returns the live records with Seq > seq, sorted by record
 // order: the incremental form of Snapshot, used by the observatory pump to
-// pull only the window recorded since its previous sample. Records already
-// overwritten by ring wrap-around are gone regardless of seq.
-func (r *Recorder) SnapshotSince(seq uint64) []Rec {
+// pull only the window recorded since its previous sample. The returned
+// slice is always Seq-monotone; gap reports whether any record with
+// Seq > seq has already been lost to ring wrap-around (a stale cursor), in
+// which case the slice covers only the surviving suffix of the interval.
+func (r *Recorder) SnapshotSince(seq uint64) (out []Rec, gap bool) {
 	if r == nil {
-		return nil
+		return nil, false
 	}
-	var out []Rec
 	for i, ring := range r.rings {
+		if r.lost[i] > seq {
+			gap = true
+		}
 		n := r.written[i]
 		if n > uint64(len(ring)) {
 			n = uint64(len(ring))
@@ -219,7 +256,7 @@ func (r *Recorder) SnapshotSince(seq uint64) []Rec {
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
-	return out
+	return out, gap
 }
 
 // Reset discards all records (the rings stay allocated).
@@ -229,6 +266,7 @@ func (r *Recorder) Reset() {
 	}
 	for i := range r.written {
 		r.written[i] = 0
+		r.lost[i] = 0
 	}
 	r.seq = 0
 }

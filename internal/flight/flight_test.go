@@ -27,6 +27,28 @@ func TestNilRecorderIsSafeAndFree(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("nil recorder Rec allocates %.1f per op, want 0", allocs)
 	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		r.RecDur(0, 1, CMStall, 1, 0, 0x40, 25)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder RecDur allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRecDurCarriesDuration(t *testing.T) {
+	r := New(1, 8)
+	r.RecDur(0, 100, CMStall, 1, AuxFP, 0x40, 37)
+	r.Rec(0, 200, TxnAbort, -1, 0, 0)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %d records, want 2", len(snap))
+	}
+	if snap[0].Dur != 37 || snap[0].Aux&AuxFP == 0 {
+		t.Fatalf("stall record = %+v, want Dur 37 with the FP bit", snap[0])
+	}
+	if snap[1].Dur != 0 {
+		t.Fatalf("plain Rec carries Dur %d, want 0", snap[1].Dur)
+	}
 }
 
 func TestRecIsAllocationFree(t *testing.T) {
@@ -139,7 +161,7 @@ func TestKindStringsAreStable(t *testing.T) {
 			t.Fatalf("Kind(%d) has no name: %q", k, s)
 		}
 	}
-	if s := NumKinds.String(); s != "Kind(13)" {
+	if s := NumKinds.String(); s != "Kind(15)" {
 		t.Fatalf("out-of-range Kind String = %q", s)
 	}
 }

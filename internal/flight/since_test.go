@@ -11,9 +11,12 @@ func TestSnapshotSinceFiltersBySeq(t *testing.T) {
 	if len(all) != 6 {
 		t.Fatalf("snapshot = %d records", len(all))
 	}
-	since := r.SnapshotSince(all[2].Seq)
+	since, gap := r.SnapshotSince(all[2].Seq)
 	if len(since) != 3 {
 		t.Fatalf("since seq %d = %d records, want 3", all[2].Seq, len(since))
+	}
+	if gap {
+		t.Fatal("gap flagged with nothing overwritten")
 	}
 	for i, rec := range since {
 		if rec.Seq != all[3+i].Seq {
@@ -21,11 +24,11 @@ func TestSnapshotSinceFiltersBySeq(t *testing.T) {
 		}
 	}
 	// Zero returns everything; the newest seq returns nothing.
-	if got := len(r.SnapshotSince(0)); got != 6 {
-		t.Fatalf("since 0 = %d records, want 6", got)
+	if got, _ := r.SnapshotSince(0); len(got) != 6 {
+		t.Fatalf("since 0 = %d records, want 6", len(got))
 	}
-	if got := len(r.SnapshotSince(all[5].Seq)); got != 0 {
-		t.Fatalf("since newest = %d records, want 0", got)
+	if got, _ := r.SnapshotSince(all[5].Seq); len(got) != 0 {
+		t.Fatalf("since newest = %d records, want 0", len(got))
 	}
 }
 
@@ -39,9 +42,12 @@ func TestSnapshotSinceIncrementalPullsCoverEverything(t *testing.T) {
 		for i := 0; i < 5; i++ {
 			r.Rec(i%2, 0, TxnCommit, -1, 0, 0)
 		}
-		fresh := r.SnapshotSince(last)
+		fresh, gap := r.SnapshotSince(last)
 		if len(fresh) != 5 {
 			t.Fatalf("round %d pulled %d records, want 5", round, len(fresh))
+		}
+		if gap {
+			t.Fatalf("round %d flagged a gap with no wrap-around", round)
 		}
 		last = fresh[len(fresh)-1].Seq
 		pulled = append(pulled, fresh...)
@@ -63,19 +69,71 @@ func TestSnapshotSinceAfterRingWrap(t *testing.T) {
 		r.Rec(0, 0, TxnAbort, -1, 0, 0)
 	}
 	// Records 1-6 are overwritten; asking for "since 2" can only return
-	// what survives in the ring.
-	got := r.SnapshotSince(2)
+	// what survives in the ring, and the loss must be flagged.
+	got, gap := r.SnapshotSince(2)
 	if len(got) != 4 {
 		t.Fatalf("post-wrap since = %d records, want ring capacity 4", len(got))
 	}
 	if got[0].Seq != 7 || got[3].Seq != 10 {
 		t.Fatalf("post-wrap window = seq %d..%d, want 7..10", got[0].Seq, got[3].Seq)
 	}
+	if !gap {
+		t.Fatal("records 3..6 were lost after the cursor, but gap not flagged")
+	}
+}
+
+func TestSnapshotSinceWrapDuringPull(t *testing.T) {
+	// The stale-cursor case a causal reconstruction hits: a reader takes a
+	// cursor, the writer wraps the ring past it mid-pull, and the reader
+	// resumes. The resumed slice must stay Seq-monotone and the loss must
+	// be flagged; a later pull from a fresh cursor must be gap-free again.
+	r := New(2, 4)
+	for i := 0; i < 3; i++ {
+		r.Rec(0, 0, TxnBegin, -1, 0, 0)
+		r.Rec(1, 0, TxnBegin, -1, 0, 0)
+	}
+	first, gap := r.SnapshotSince(0)
+	if gap || len(first) != 6 {
+		t.Fatalf("pre-wrap pull = %d records gap=%v, want 6 records no gap", len(first), gap)
+	}
+	cursor := first[2].Seq // reader paused mid-stream: 3 records still unread
+
+	// The writer laps both rings while the reader is away: every unread
+	// record (seq 4..6) is overwritten.
+	for i := 0; i < 10; i++ {
+		r.Rec(i%2, 0, TxnAbort, -1, 0, 0)
+	}
+
+	resumed, gap := r.SnapshotSince(cursor)
+	if !gap {
+		t.Fatal("unread records were overwritten mid-pull, but gap not flagged")
+	}
+	if len(resumed) == 0 {
+		t.Fatal("resumed pull returned nothing despite live records")
+	}
+	for i, rec := range resumed {
+		if rec.Seq <= cursor {
+			t.Fatalf("resumed[%d].Seq = %d, not after cursor %d", i, rec.Seq, cursor)
+		}
+		if i > 0 && rec.Seq <= resumed[i-1].Seq {
+			t.Fatalf("resumed slice not Seq-monotone at %d: %d <= %d", i, rec.Seq, resumed[i-1].Seq)
+		}
+	}
+	// The surviving suffix must be contiguous up to the newest record.
+	if last := resumed[len(resumed)-1].Seq; last != first[5].Seq+10 {
+		t.Fatalf("resumed slice ends at seq %d, want newest %d", last, first[5].Seq+10)
+	}
+
+	// A cursor at the head of the resumed slice has no further loss.
+	if _, gap := r.SnapshotSince(resumed[len(resumed)-1].Seq); gap {
+		t.Fatal("fresh cursor still reports a gap")
+	}
 }
 
 func TestSnapshotSinceNilRecorder(t *testing.T) {
 	var r *Recorder
-	if got := r.SnapshotSince(0); got != nil {
-		t.Fatalf("nil recorder since = %v", got)
+	got, gap := r.SnapshotSince(0)
+	if got != nil || gap {
+		t.Fatalf("nil recorder since = %v gap=%v", got, gap)
 	}
 }

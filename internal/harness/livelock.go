@@ -30,6 +30,13 @@ type LivelockOutcome struct {
 	// Trips counts liveness-watchdog trips (telemetry; 0 when the run had
 	// no registry attached).
 	Trips uint64
+	// Recs is the record window the report was computed over (the watchdog
+	// dump when Dumped, else the end-of-run rings) — the input for causal
+	// post-mortems on the probe.
+	Recs []flight.Rec
+	// LineA, LineB are the duel's two contended lines, so acceptance tests
+	// can check blame attribution against ground truth.
+	LineA, LineB memory.LineAddr
 }
 
 // LivelockProbe runs a deliberately pathological cell and profiles it: two
@@ -158,6 +165,8 @@ func ObservedLivelockProbe(seed uint64, pump *observatory.Pump) (*conflictgraph.
 	if recs == nil {
 		recs = fl.Snapshot()
 	}
+	out.Recs = recs
+	out.LineA, out.LineB = lineA.Line(), lineB.Line()
 	rep := conflictgraph.Analyze(recs, conflictgraph.Options{Cores: cfg.Cores})
 	if got, want := sys.ReadWordRaw(lineA)+sys.ReadWordRaw(lineB), uint64(2*2*rounds); got != want {
 		return rep, out, fmt.Errorf("livelock probe: line sum = %d, want %d", got, want)
@@ -317,7 +326,9 @@ func GovernedLivelockProbe(seed uint64, g *governor.Governor, pump *observatory.
 		Dumped:      dumped != nil,
 		Trips:       snap.Total(telemetry.CtrWatchdogTrip),
 	}
-	rep := conflictgraph.Analyze(fl.Snapshot(), conflictgraph.Options{Cores: cfg.Cores})
+	out.Recs = fl.Snapshot()
+	out.LineA, out.LineB = lineA.Line(), lineB.Line()
+	rep := conflictgraph.Analyze(out.Recs, conflictgraph.Options{Cores: cfg.Cores})
 	if got, want := sys.ReadWordRaw(lineA)+sys.ReadWordRaw(lineB), uint64(2*2*rounds); got != want {
 		return rep, out, fmt.Errorf("governed livelock probe: line sum = %d, want %d", got, want)
 	}

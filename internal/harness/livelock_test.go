@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"flextm/internal/conflictgraph"
@@ -50,7 +51,7 @@ func TestLivelockProbeIsDeterministic(t *testing.T) {
 	if err1 != nil || err2 != nil {
 		t.Fatalf("errors: %v / %v", err1, err2)
 	}
-	if o1 != o2 {
+	if !reflect.DeepEqual(o1, o2) {
 		t.Fatalf("outcomes differ: %+v vs %+v", o1, o2)
 	}
 	if r1.Commits != r2.Commits || r1.Aborts != r2.Aborts || len(r1.Pathologies) != len(r2.Pathologies) {

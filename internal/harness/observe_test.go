@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"testing"
 
 	"flextm/internal/conflictgraph"
@@ -122,7 +123,7 @@ func TestObservedLivelockFlagsAbortCycleBeforeWatchdog(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plain != out {
+	if !reflect.DeepEqual(plain, out) {
 		t.Fatalf("observation changed the probe outcome: %+v vs %+v", plain, out)
 	}
 }

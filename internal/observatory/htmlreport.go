@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"flextm/internal/benchfmt"
+	"flextm/internal/causal"
 	"flextm/internal/conflictgraph"
 	"flextm/internal/telemetry"
 )
@@ -62,6 +63,7 @@ func WriteHTMLReport(w io.Writer, d ReportData) error {
 		v.Tiles = buildTiles(f)
 		v.Charts = buildCharts(d.Frames)
 		v.Graph = conflictGraphSVG(f.Report)
+		v.Causal = buildCausal(f.Causal)
 		v.Pathologies = buildPathologies(f.Report)
 		v.Totals = buildTotals(f.Cum)
 		v.Attribution = buildAttribution(f.Cum)
@@ -80,6 +82,7 @@ type reportView struct {
 	Tiles       []tile
 	Charts      []chart
 	Graph       template.HTML
+	Causal      *causalView
 	Pathologies []pathologyView
 	Attribution *attributionView
 	Totals      []totalRow
@@ -99,6 +102,18 @@ type chart struct {
 type pathologyView struct {
 	Kind, Class, Detail string
 	Count               uint64
+}
+
+type causalView struct {
+	Summary string
+	Wasted  string
+	Blame   []blameRow
+}
+
+type blameRow struct {
+	Line          string
+	Cycles        uint64
+	Share, FPShow string
 }
 
 type attributionView struct {
@@ -172,6 +187,30 @@ func buildCharts(frames []*Frame) []chart {
 		{"Abort ratio (aborts per attempt, per interval)", lineChartSVG(xs, abortR, "--series-2", "%.2f")},
 		{"Signature false-positive rate (per interval)", lineChartSVG(xs, fp, "--series-3", "%.3f")},
 	}
+}
+
+func buildCausal(rep *causal.Report) *causalView {
+	if rep == nil || len(rep.Path) == 0 {
+		return nil
+	}
+	v := &causalView{
+		Summary: fmt.Sprintf("critical path %d cycles over %d segments — %.1f%% of the window's %d-cycle makespan, ending at the last commit (t=%d)",
+			rep.PathCycles, len(rep.Path), rep.Coverage*100, rep.Makespan, uint64(rep.LastCommitAt)),
+		Wasted: fmt.Sprintf("%d cycles were burned in %d aborted attempts", rep.WastedCycles, rep.Aborts),
+	}
+	for _, b := range rep.Blame {
+		fp := "—"
+		if b.Cycles > 0 && b.FPCycles > 0 {
+			fp = fmt.Sprintf("%.0f%%", float64(b.FPCycles)/float64(b.Cycles)*100)
+		}
+		v.Blame = append(v.Blame, blameRow{
+			Line:   fmt.Sprintf("0x%x", b.Line),
+			Cycles: b.Cycles,
+			Share:  fmt.Sprintf("%.1f%%", b.Share*100),
+			FPShow: fp,
+		})
+	}
+	return v
 }
 
 func buildPathologies(rep *conflictgraph.Report) []pathologyView {
@@ -513,6 +552,17 @@ code { font-size: 12px; background: var(--surface-1); border: 1px solid var(--bo
 
 <h2>Conflict graph (final window)</h2>
 <div class="card">{{.Graph}}</div>
+
+{{with .Causal}}
+<h2>Critical path (final window)</h2>
+<div class="card">
+<p class="sub">{{.Summary}}</p>
+<p class="sub">{{.Wasted}}</p>
+{{if .Blame}}<table><tr><th>blamed line</th><th>cycles</th><th>share of critical path</th><th>from false positives</th></tr>
+{{range .Blame}}<tr><td><code>{{.Line}}</code></td><td>{{.Cycles}}</td><td>{{.Share}}</td><td>{{.FPShow}}</td></tr>{{end}}
+</table>{{else}}<p class="muted">no attributable contention cost on the path</p>{{end}}
+</div>
+{{end}}
 
 <h2>Pathology verdicts</h2>
 <div class="card">

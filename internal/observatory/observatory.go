@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flextm/internal/causal"
 	"flextm/internal/conflictgraph"
 	"flextm/internal/flight"
 	"flextm/internal/sim"
@@ -64,8 +65,15 @@ type Frame struct {
 	// Recent is the sliding window of flight records the report was
 	// computed over (bounded by Config.Window); Report is the windowed
 	// conflict-graph analysis, nil when the run has no flight recorder.
-	Recent []flight.Rec
-	Report *conflictgraph.Report
+	// FlightGap flags that ring wrap-around overwrote records between this
+	// frame's pull and the previous one (the window has a hole).
+	Recent    []flight.Rec
+	Report    *conflictgraph.Report
+	FlightGap bool
+
+	// Causal is the windowed attempt-DAG analysis (critical path and blame),
+	// nil when the run has no flight recorder.
+	Causal *causal.Report
 
 	// Gov is the resilience governor's annotation — the ladder level and
 	// health classification in force while this interval ran. Nil on
@@ -257,7 +265,8 @@ func (p *Pump) sample(now sim.Time, final bool) *Frame {
 		Delta: cum.Diff(p.prev),
 	}
 	if p.fl.Enabled() {
-		fresh := p.fl.SnapshotSince(p.lastSeq)
+		fresh, gap := p.fl.SnapshotSince(p.lastSeq)
+		f.FlightGap = gap
 		if n := len(fresh); n > 0 {
 			p.lastSeq = fresh[n-1].Seq
 		}
@@ -269,6 +278,7 @@ func (p *Pump) sample(now sim.Time, final bool) *Frame {
 		// frame must not.
 		f.Recent = append([]flight.Rec(nil), p.recent...)
 		f.Report = conflictgraph.Analyze(f.Recent, conflictgraph.Options{Cores: p.meta.Cores})
+		f.Causal = causal.Analyze(f.Recent, causal.Options{Cores: p.meta.Cores})
 	}
 	p.prev = cum
 	p.prevAt = now

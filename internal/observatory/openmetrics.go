@@ -131,6 +131,25 @@ func WriteOpenMetrics(w io.Writer, f *Frame, bus *Bus) error {
 			fmt.Fprintf(bw, "%s{state=\"%s\"} 1\n", name, escapeLabel(f.Gov.State))
 		}
 
+		// Windowed causal analysis: critical path and dominant blame.
+		if f.Causal != nil {
+			c := f.Causal
+			gauge(bw, "flextm_causal_path_cycles", "Critical-path length over the sliding flight-record window.", float64(c.PathCycles))
+			gauge(bw, "flextm_causal_makespan_cycles", "Makespan of the sliding flight-record window.", float64(c.Makespan))
+			gauge(bw, "flextm_causal_coverage", "Critical-path cycles over window makespan (0..1).", c.Coverage)
+			gauge(bw, "flextm_causal_wasted_cycles", "Cycles spent in aborted attempts within the window.", float64(c.WastedCycles))
+			gauge(bw, "flextm_causal_flight_gap", "1 when ring wrap-around punched a hole in the window since the last pull.", b2f(f.FlightGap))
+			if len(c.Blame) > 0 {
+				name := "flextm_causal_blame_cycles"
+				fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp("Critical-path cycles blamed on a line (fp distinguishes false-positive share)."))
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+				for _, b := range c.Blame {
+					fmt.Fprintf(bw, "%s{line=\"0x%x\",fp=\"false\"} %d\n", name, b.Line, b.Cycles-b.FPCycles)
+					fmt.Fprintf(bw, "%s{line=\"0x%x\",fp=\"true\"} %d\n", name, b.Line, b.FPCycles)
+				}
+			}
+		}
+
 		// Windowed pathology counts from the incremental classifier.
 		if f.Report != nil {
 			name := "flextm_window_pathologies"
@@ -144,6 +163,13 @@ func WriteOpenMetrics(w io.Writer, f *Frame, bus *Bus) error {
 	}
 	fmt.Fprintln(bw, "# EOF")
 	return bw.Flush()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func gauge(w io.Writer, name, help string, v float64) {

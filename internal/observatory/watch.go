@@ -89,12 +89,32 @@ func (wa *Watcher) Observe(f *Frame) {
 	if f.Final {
 		tag = "obs[end]"
 	}
-	fmt.Fprintf(wa.w, "%s t=%-8s commits %5d (%7.1f/Mc) aborts %5d (ratio %.2f) fp %.4f  c%s a%s%s%s%s\n",
+	fmt.Fprintf(wa.w, "%s t=%-8s commits %5d (%7.1f/Mc) aborts %5d (ratio %.2f) fp %.4f  c%s a%s%s%s%s%s\n",
 		tag, fmtCycles(uint64(f.End)),
 		f.Delta.Total(telemetry.CtrTxnCommits), f.CommitRate(),
 		f.Delta.Total(telemetry.CtrTxnAborts), f.AbortRatio(), f.SigFPRate(),
 		sparkline(wa.commitRates), sparkline(wa.abortRatios),
-		wa.govFlags(f), wa.dropFlags(), wa.pathologyFlags(f))
+		wa.govFlags(f), wa.blameFlags(f), wa.dropFlags(), wa.pathologyFlags(f))
+}
+
+// blameFlags renders the interval's dominant critical-path blame line from
+// the windowed causal analysis ("which line is the makespan waiting on").
+func (wa *Watcher) blameFlags(f *Frame) string {
+	if f.Causal == nil {
+		return ""
+	}
+	b := f.Causal.TopBlame()
+	if b == nil || b.Cycles == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("  blame 0x%x %.0f%%", b.Line, b.Share*100)
+	if b.FPCycles > 0 {
+		s += fmt.Sprintf(" (fp %.0f%%)", float64(b.FPCycles)/float64(b.Cycles)*100)
+	}
+	if f.FlightGap {
+		s += " gap!"
+	}
+	return s
 }
 
 // govFlags renders the governor annotation on governed runs: the ladder

@@ -185,11 +185,11 @@ func (m *Manager) trap(requestor int, line memory.LineAddr, write bool) []tmesi.
 					reqCST.Set(cst.RW, home)
 					s.Saved.CST.Set(cst.WR, requestor)
 				}
-				out = append(out, tmesi.Conflict{Responder: home, Msg: tmesi.Threatened, Suspended: true})
+				out = append(out, tmesi.Conflict{Responder: home, Msg: tmesi.Threatened, Line: line, Suspended: true})
 			} else {
 				reqCST.Set(cst.WR, home)
 				s.Saved.CST.Set(cst.RW, requestor)
-				out = append(out, tmesi.Conflict{Responder: home, Msg: tmesi.ExposedRead, Suspended: true})
+				out = append(out, tmesi.Conflict{Responder: home, Msg: tmesi.ExposedRead, Line: line, Suspended: true})
 			}
 		}
 	}

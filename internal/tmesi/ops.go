@@ -280,6 +280,14 @@ func (s *System) ensureExclusive(ctx *sim.Ctx, core int, line memory.LineAddr) (
 	return lat, c.l1.Lookup(line)
 }
 
+// fpAux maps a false-positive verdict onto the flight-record Aux bit.
+func fpAux(fp bool) uint8 {
+	if fp {
+		return flight.AuxFP
+	}
+	return 0
+}
+
 // probeResult summarizes one forwarding round.
 type probeResult struct {
 	conflicts    []Conflict
@@ -309,8 +317,10 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 		// argument as a natural false positive — signatures are allowed to
 		// over-approximate — so the protocol must absorb the spurious
 		// Threatened response, CST bits, or strong-isolation abort.
+		injW := false
 		if rc.txnActive && !sigW && s.inj.Fire(core, fault.SigFalsePos) {
 			sigW = true
+			injW = true
 			s.tel.Inc(r, telemetry.CtrFaultInjected)
 		}
 		if s.tel != nil && rc.txnActive {
@@ -322,6 +332,11 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 		if rln == nil && !sigW && !sigR {
 			continue
 		}
+		// False-positive lineage for the causal tracer: an injected alias is
+		// spurious by construction; otherwise audit mode (when enabled) gives
+		// ground truth on whether the signature hit was Bloom aliasing.
+		fpW := injW || (sigW && !injW && rc.wsig.AuditEnabled() && !rc.wsig.Inserted(line))
+		fpR := sigR && rc.rsig.AuditEnabled() && !rc.rsig.Inserted(line)
 		probed = true
 		s.stats.Probes++
 		s.tel.Inc(core, telemetry.CtrProbes)
@@ -342,13 +357,13 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 				pr.threatened = true
 				s.stats.ThreatenedResponses++
 				s.tel.Inc(core, telemetry.CtrThreatened)
-				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened})
+				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened, Line: line, FP: fpW})
 				if kind == reqGETST {
 					rc.table.Set(cst.WR, core)
 					c.table.Set(cst.RW, r)
 					s.tel.Inc(r, telemetry.CtrCSTSet)
 					s.tel.Inc(core, telemetry.CtrCSTSet)
-					s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.RW), line)
+					s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.RW)|fpAux(fpW), line)
 				}
 			}
 		case reqTGETX:
@@ -356,21 +371,21 @@ func (s *System) probe(core int, line memory.LineAddr, kind reqKind) probeResult
 				pr.threatened = true
 				s.stats.ThreatenedResponses++
 				s.tel.Inc(core, telemetry.CtrThreatened)
-				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened})
+				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: Threatened, Line: line, FP: fpW})
 				rc.table.Set(cst.WW, core)
 				c.table.Set(cst.WW, r)
 				s.tel.Inc(r, telemetry.CtrCSTSet)
 				s.tel.Inc(core, telemetry.CtrCSTSet)
-				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WW), line)
+				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WW)|fpAux(fpW), line)
 			} else if sigR {
 				s.stats.ExposedReadResponses++
 				s.tel.Inc(core, telemetry.CtrExposedRead)
-				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: ExposedRead})
+				pr.conflicts = append(pr.conflicts, Conflict{Responder: r, Msg: ExposedRead, Line: line, FP: fpR})
 				rc.table.Set(cst.RW, core)
 				c.table.Set(cst.WR, r)
 				s.tel.Inc(r, telemetry.CtrCSTSet)
 				s.tel.Inc(core, telemetry.CtrCSTSet)
-				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WR), line)
+				s.fl.Rec(core, s.now, flight.CSTSet, r, uint8(cst.WR)|fpAux(fpR), line)
 			}
 		case reqGETX:
 			if sigW || sigR {

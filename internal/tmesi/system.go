@@ -109,7 +109,9 @@ func (m ResponseMsg) String() string {
 type Conflict struct {
 	Responder int
 	Msg       ResponseMsg
-	Suspended bool // conflict found via the summary signatures (descheduled txn)
+	Line      memory.LineAddr // the line whose access raised the conflict
+	FP        bool            // the responder's signature hit was a Bloom false positive
+	Suspended bool            // conflict found via the summary signatures (descheduled txn)
 }
 
 // OpResult is the outcome of one memory operation.

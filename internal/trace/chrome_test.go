@@ -116,6 +116,89 @@ func TestChromeUnfinishedAttemptVisible(t *testing.T) {
 	t.Fatalf("unfinished attempt not drawn: %+v", doc.TraceEvents)
 }
 
+// TestChromeKillFlowEvents: an abort-enemy decision must emit a flow pair —
+// an "s" event on the killer's row at decision time and a bp="e" "f" event
+// on the victim's row at its resulting Abort, sharing one id — so the
+// viewer draws the kill as an arrow. A kill whose victim never aborts (the
+// CAS lost; the victim committed) must emit no dangling flow start.
+func TestChromeKillFlowEvents(t *testing.T) {
+	events := []Event{
+		{At: 0, Core: 0, Kind: Begin},
+		{At: 5, Core: 1, Kind: Begin},
+		{At: 20, Core: 1, Kind: ConflictAbortEnemy, Enemy: 0},
+		{At: 25, Core: 0, Kind: Abort},
+		{At: 30, Core: 0, Kind: Begin},
+		{At: 40, Core: 1, Kind: Commit},
+		{At: 50, Core: 0, Kind: ConflictAbortEnemy, Enemy: 1}, // victim already committed
+		{At: 60, Core: 0, Kind: Commit},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace_event JSON: %v\n%s", err, buf.String())
+	}
+
+	var starts, finishes []ChromeEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "s":
+			starts = append(starts, e)
+		case "f":
+			finishes = append(finishes, e)
+		}
+	}
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("flow events = %d starts, %d finishes, want 1 each:\n%s", len(starts), len(finishes), buf.String())
+	}
+	s, f := starts[0], finishes[0]
+	if s.Name != "kill" || s.Cat != "abort-lineage" || s.TID != 1 || s.TS != 20 {
+		t.Errorf("flow start = %+v, want kill/abort-lineage on tid 1 at ts 20", s)
+	}
+	if f.TID != 0 || f.TS != 25 || f.BP != "e" {
+		t.Errorf("flow finish = %+v, want tid 0, ts 25, bp \"e\"", f)
+	}
+	if s.ID == 0 || s.ID != f.ID {
+		t.Errorf("flow ids %d / %d, want equal and non-zero", s.ID, f.ID)
+	}
+}
+
+// TestChromeEventSchemaRoundTrip: the document must survive an
+// encode -> decode -> encode cycle through the exported ChromeEvent type
+// byte-identically, pinning the JSON schema other renderers (internal/
+// causal) emit into.
+func TestChromeEventSchemaRoundTrip(t *testing.T) {
+	events := []Event{
+		{At: 0, Core: 0, Kind: Begin},
+		{At: 5, Core: 1, Kind: Begin},
+		{At: 20, Core: 1, Kind: ConflictAbortEnemy, Enemy: 0},
+		{At: 25, Core: 0, Kind: Abort},
+		{At: 40, Core: 1, Kind: Commit},
+		{At: 55, Core: 0, Kind: Commit},
+	}
+	var first bytes.Buffer
+	if err := WriteChrome(&first, events); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var second bytes.Buffer
+	if err := EncodeChrome(&second, doc.TraceEvents); err != nil {
+		t.Fatalf("EncodeChrome: %v", err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("round trip changed the document:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
 func TestChromeEmpty(t *testing.T) {
 	doc := exportChrome(t, nil)
 	if len(doc.TraceEvents) != 0 {
