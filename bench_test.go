@@ -28,13 +28,13 @@ import (
 
 const benchOps = 120
 
+// benchSweep is the benchmark-scale variant of the canonical test sweep:
+// same machine, more threads and ops.
 func benchSweep() harness.SweepConfig {
-	return harness.SweepConfig{
-		Machine: tmesi.DefaultConfig(),
-		Threads: []int{1, 8, 16},
-		Ops:     benchOps,
-		Verify:  true,
-	}
+	sc := harness.QuickSweep()
+	sc.Threads = []int{1, 8, 16}
+	sc.Ops = benchOps
+	return sc
 }
 
 func BenchmarkFigure4(b *testing.B) {
@@ -148,6 +148,24 @@ func BenchmarkFigure5MP(b *testing.B) {
 			b.ReportMetric(eagerPrime, "primeNormEager")
 			b.ReportMetric(lazyPrime, "primeNormLazy")
 		})
+	}
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel time the same
+// Figure-5-shaped grid on one worker and on every CPU. The parallel run
+// produces byte-identical plots (pinned by internal/sweepexec's identity
+// tests); the measured speedup is recorded in BENCH_baseline.json's
+// "sweepSpeedup" note whenever the baseline is regenerated.
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, -1) }
+
+func benchmarkSweep(b *testing.B, parallel int) {
+	sc := benchSweep()
+	sc.Parallel = parallel
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure5(sc); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

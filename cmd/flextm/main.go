@@ -74,6 +74,7 @@ func main() {
 	causalDOT := flag.String("causal-dot", "", "write the critical path in Graphviz DOT form to FILE (implies -causal)")
 	oracleOn := flag.Bool("oracle", false, "attach the serializability oracle to the run and print its verdict (FlexTM systems)")
 	stressN := flag.Int("stress", 0, "run N seeds of the oracle-checked stress explorer instead of a workload")
+	stressParallel := flag.Int("parallel", 1, "with -stress: worker goroutines for the explorer (1 = serial, 0 = all CPUs); results identical to serial")
 	seed := flag.Uint64("seed", 1, "base seed for -stress")
 	broken := flag.Bool("broken", false, "with -stress: disable the commit-time W-R aborts (the oracle must catch the break)")
 	schedule := flag.String("schedule", "", "replay one stress schedule string (as printed by -stress failures)")
@@ -106,7 +107,7 @@ func main() {
 		return
 	}
 	if *stressN > 0 {
-		runStress(*stressN, *seed, *system, *faults, *faultSeed, *broken)
+		runStress(*stressN, *seed, *system, *faults, *faultSeed, *broken, *stressParallel)
 		return
 	}
 
@@ -471,7 +472,10 @@ func writeGovLog(path string, gov *governor.Governor) error {
 // failure exits non-zero after shrinking it to a minimal replayable
 // schedule; with broken=true the logic inverts — the protocol is
 // deliberately damaged, and NOT detecting a violation is the failure.
-func runStress(n int, seed uint64, system, faults string, faultSeed uint64, broken bool) {
+func runStress(n int, seed uint64, system, faults string, faultSeed uint64, broken bool, parallel int) {
+	if parallel < 0 {
+		parallel = 1
+	}
 	base := stress.DefaultConfig(seed)
 	if harness.SystemName(system) == harness.FlexTMEager {
 		base.Mode = core.Eager
@@ -487,7 +491,7 @@ func runStress(n int, seed uint64, system, faults string, faultSeed uint64, brok
 		base.Faults = fc
 	}
 	fmt.Printf("stress      %d seeds from %d, mode %s, broken=%v\n", n, seed, base.Mode, broken)
-	res := stress.Explore(base, n)
+	res := stress.ExploreParallel(base, n, parallel)
 	fmt.Printf("explored    %d runs, %d failures\n", res.Runs, len(res.Failures))
 	if len(res.Failures) == 0 {
 		if broken {

@@ -20,6 +20,14 @@
 // on stdout (the human tables move to stderr); -trace-out FILE writes a
 // Chrome trace_event timeline of a dedicated traced run.
 //
+// -parallel N executes sweep cells on N worker goroutines (0 = all CPUs)
+// with results gathered in deterministic serial order, so every artifact —
+// tables, -json stream, -bench-out, causal digests — is byte-identical to
+// a serial run. -cache DIR keeps a content-addressed cell cache: a warm
+// re-run replays every cell from disk without simulating (-cache-clear
+// empties the store first). SIGINT stops the sweep at the next cell
+// boundary, flushes the partial -bench-out artifact, and exits 130.
+//
 // Perf artifacts: -bench-out FILE records every data point of the selected
 // figures into a canonical BENCH_*.json artifact (schema flextm-bench/v1,
 // byte-stable because the simulator is deterministic), and
@@ -44,12 +52,15 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"flextm/internal/area"
 	"flextm/internal/benchfmt"
@@ -62,6 +73,8 @@ import (
 	"flextm/internal/observatory"
 	"flextm/internal/sim"
 	"flextm/internal/stress"
+	"flextm/internal/sweepexec"
+	cellcache "flextm/internal/sweepexec/cache"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmesi"
 	"flextm/internal/trace"
@@ -90,6 +103,10 @@ func main() {
 	obsInterval := flag.Uint64("obs-interval", 0, "observation sampling interval in simulated cycles (0 = auto)")
 	reportOut := flag.String("report", "", "write a self-contained HTML run report of a dedicated observed run to FILE")
 	reportBaseline := flag.String("report-baseline", "BENCH_baseline.json", "baseline artifact for the -report BENCH comparison (section skipped when unreadable)")
+	parallel := flag.Int("parallel", 1, "worker goroutines for sweep cells (1 = serial, 0 = all CPUs); output is byte-identical to serial")
+	cacheDir := flag.String("cache", "", "content-addressed cell cache directory; hits replay cells without simulating")
+	cacheClear := flag.Bool("cache-clear", false, "clear the -cache store before running")
+	benchNotes := flag.String("bench-note", "", "comma-separated key=value notes stored in the -bench-out artifact")
 	flag.Parse()
 
 	if *compare {
@@ -107,6 +124,39 @@ func main() {
 		Verify:  true,
 		Metrics: *metrics || *jsonOut,
 	}
+	sc.Parallel = *parallel
+	if *parallel == 0 {
+		sc.Parallel = -1 // sweepexec maps non-positive workers to GOMAXPROCS
+	}
+	var store *cellcache.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = cellcache.Open(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *cacheClear {
+			if err := store.Clear(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cell cache %s cleared\n", store.Dir())
+		}
+		sc.Cache = store
+	} else if *cacheClear {
+		fatal(fmt.Errorf("-cache-clear needs -cache DIR"))
+	}
+	// SIGINT/SIGTERM close the stop channel: in-flight cells finish, the
+	// sweep returns sweepexec.ErrStopped, and fatal flushes what was emitted
+	// before exiting 130. A second signal kills the process outright.
+	stopCh := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		signal.Stop(sigCh)
+		close(stopCh)
+	}()
+	sc.Stop = stopCh
 	var bench *benchfmt.Artifact
 	if *benchOut != "" {
 		// Artifact cells carry the attribution split and pathology summary,
@@ -114,6 +164,26 @@ func main() {
 		sc.Metrics = true
 		sc.Flight = true
 		bench = benchfmt.New(*benchLabel, 0)
+		for _, kv := range strings.Split(*benchNotes, ",") {
+			if kv = strings.TrimSpace(kv); kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				fatal(fmt.Errorf("bad -bench-note %q: want key=value", kv))
+			}
+			if bench.Notes == nil {
+				bench.Notes = map[string]string{}
+			}
+			bench.Notes[k] = v
+		}
+		flushPartial = func() {
+			if err := bench.WriteFile(*benchOut); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: partial artifact:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "== bench artifact (partial): %d cells -> %s ==\n", len(bench.Cells), *benchOut)
+		}
 	}
 	for _, part := range strings.Split(*threadList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -140,10 +210,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "observatory http://%s (/metrics /snapshot.json /conflictgraph.dot /flight /debug/pprof/)\n", addr)
 	}
 
+	if *httpAddr != "" && sc.Parallel != 1 {
+		fmt.Fprintln(os.Stderr, "observatory active: sweeps forced serial (-parallel ignored)")
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	// currentFig names the figure whose sweep is running, so bench-artifact
-	// cells key on (figure, system, workload, threads). The sweeps run
-	// sequentially and OnResult fires synchronously, so a variable suffices.
+	// cells key on (figure, system, workload, threads). Cells may execute on
+	// several workers, but results are always emitted — and OnResult fired —
+	// on this goroutine in serial order, so a variable suffices.
 	currentFig := ""
 	sc.OnResult = func(res harness.Result) {
 		if *metrics && res.Telemetry != nil {
@@ -199,15 +274,15 @@ func main() {
 	}
 	if *all || *fig == "chaos" {
 		ran = true
-		chaosCampaign(*quick, *jsonOut, enc)
+		chaosCampaign(sc.Parallel, *quick, *jsonOut, enc)
 	}
 	if *all || *fig == "govern" {
 		ran = true
-		governCampaign(*quick, *jsonOut, enc)
+		governCampaign(sc.Parallel, *quick, *jsonOut, enc)
 	}
 	if *all || *fig == "oracle" {
 		ran = true
-		oracleSweep(*quick)
+		oracleSweep(*quick, sc.Parallel)
 	}
 	if *all || *fig == "causal" {
 		ran = true
@@ -233,7 +308,7 @@ func main() {
 		currentFig = "report"
 		writeReport(sc, *reportOut, *reportBaseline, bench, *threshold, sim.Time(*obsInterval))
 	}
-	if !ran {
+	if !ran && !*cacheClear {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -242,6 +317,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(out, "== bench artifact: %d cells -> %s ==\n", len(bench.Cells), *benchOut)
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "cell %s\n", store.Stats())
 	}
 }
 
@@ -462,7 +540,19 @@ func writeTimeline(sc harness.SweepConfig, path string) {
 		len(rec.Events()), threads, path)
 }
 
+// flushPartial, when set, writes the bench artifact recorded so far. fatal
+// calls it on an interrupted sweep so a SIGINT still lands the partial
+// artifact on disk before the conventional 130 exit.
+var flushPartial func()
+
 func fatal(err error) {
+	if errors.Is(err, sweepexec.ErrStopped) {
+		if flushPartial != nil {
+			flushPartial()
+		}
+		fmt.Fprintln(os.Stderr, "paperbench: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "paperbench:", err)
 	os.Exit(1)
 }
@@ -545,35 +635,58 @@ func cmAblation(sc harness.SweepConfig) {
 
 func logtmComparison(sc harness.SweepConfig) {
 	fmt.Fprintln(out, "== Extension: FlexTM vs alternative HTM designs (normalized to 1-thread CGL) ==")
-	for _, name := range []string{"RBTree", "RandomGraph", "HashTable"} {
-		f, _ := workloads.ByName(name)
-		base, err := harness.Baseline(f, sc.Machine, sc.Ops)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(out, "\n[%s]\n%-16s", name, "system")
-		for _, th := range sc.Threads {
-			fmt.Fprintf(out, "%8d", th)
-		}
-		fmt.Fprintln(out)
-		for _, sys := range []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy, harness.LogTM, harness.Bulk} {
-			fmt.Fprintf(out, "%-16s", sys)
-			for _, th := range sc.Threads {
-				res, err := harness.Run(harness.RunConfig{
-					System: sys, Workload: f, Threads: th,
-					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
-					Metrics: sc.Metrics, Flight: sc.Flight,
-				})
-				if err != nil {
-					fatal(err)
+	names := []string{"RBTree", "RandomGraph", "HashTable"}
+	systems := []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy, harness.LogTM, harness.Bulk}
+	factories := make([]workloads.Factory, len(names))
+	for i, name := range names {
+		factories[i], _ = workloads.ByName(name)
+	}
+	ex := sc.Exec()
+	bases := make([]float64, len(names))
+	err := sweepexec.Map(ex, len(names),
+		func(i int) (float64, error) { return sc.BaselineCell(factories[i]) },
+		func(i int, base float64) error { bases[i] = base; return nil })
+	if err != nil {
+		fatal(err)
+	}
+	// One flat grid: workload-major, then system, then thread count. The
+	// emit callback runs in index order, so the table prints exactly as the
+	// serial nested loops did.
+	perWorkload := len(systems) * len(sc.Threads)
+	err = sweepexec.Map(ex, len(names)*perWorkload,
+		func(i int) (harness.Result, error) {
+			w, r := i/perWorkload, i%perWorkload
+			return sc.RunCell(harness.RunConfig{
+				System: systems[r/len(sc.Threads)], Workload: factories[w],
+				Threads: sc.Threads[r%len(sc.Threads)],
+				OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
+				Metrics: sc.Metrics, Flight: sc.Flight,
+			})
+		},
+		func(i int, res harness.Result) error {
+			w, r := i/perWorkload, i%perWorkload
+			col := r % len(sc.Threads)
+			if r == 0 {
+				fmt.Fprintf(out, "\n[%s]\n%-16s", names[w], "system")
+				for _, th := range sc.Threads {
+					fmt.Fprintf(out, "%8d", th)
 				}
-				if sc.OnResult != nil {
-					sc.OnResult(res)
-				}
-				fmt.Fprintf(out, "%8.2f", res.Throughput/base)
+				fmt.Fprintln(out)
 			}
-			fmt.Fprintln(out)
-		}
+			if col == 0 {
+				fmt.Fprintf(out, "%-16s", systems[r/len(sc.Threads)])
+			}
+			if sc.OnResult != nil {
+				sc.OnResult(res)
+			}
+			fmt.Fprintf(out, "%8.2f", res.Throughput/bases[w])
+			if col == len(sc.Threads)-1 {
+				fmt.Fprintln(out)
+			}
+			return nil
+		})
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Fprintln(out)
 }
@@ -582,8 +695,9 @@ func logtmComparison(sc harness.SweepConfig) {
 // conservation/consistency/isolation invariants in every cell. The campaign
 // is deterministic: same spec, same fault schedule, same table. Any
 // violation makes the run exit non-zero.
-func chaosCampaign(quick, jsonOut bool, enc *json.Encoder) {
+func chaosCampaign(parallel int, quick, jsonOut bool, enc *json.Encoder) {
 	spec := harness.DefaultChaosSpec()
+	spec.Parallel = parallel
 	if quick {
 		spec.Threads = 5
 		spec.Rounds = 25
@@ -619,8 +733,8 @@ func chaosCampaign(quick, jsonOut bool, enc *json.Encoder) {
 // table contrasts the two sides per cell and reports the governor's
 // transition count and final ladder level; non-convergence or any invariant
 // violation exits non-zero.
-func governCampaign(quick, jsonOut bool, enc *json.Encoder) {
-	sc := harness.SoakConfig{Seed: 1}
+func governCampaign(parallel int, quick, jsonOut bool, enc *json.Encoder) {
+	sc := harness.SoakConfig{Seed: 1, Parallel: parallel}
 	if quick {
 		sc.Cells = 3
 		sc.Rounds = 20
@@ -660,10 +774,14 @@ func governCampaign(quick, jsonOut bool, enc *json.Encoder) {
 // variant (commit-time W-R aborts disabled, Figure 3 line 2 skipped) must
 // detect a violation and shrink it to a minimal replayable schedule. A
 // passing phase 2 is what certifies that phase 1's silence means something.
-func oracleSweep(quick bool) {
+func oracleSweep(quick bool, parallel int) {
 	seeds := 16
 	if quick {
 		seeds = 4
+	}
+	workers := parallel
+	if workers == 0 {
+		workers = 1
 	}
 	fmt.Fprintln(out, "== Oracle: serializability under schedule exploration ==")
 	var fc fault.Config
@@ -676,7 +794,7 @@ func oracleSweep(quick bool) {
 		base.Mode = mode
 		base.TinyCache = true
 		base.Faults = fc
-		res := stress.Explore(base, seeds)
+		res := stress.ExploreParallel(base, seeds, workers)
 		verdict := "ok"
 		if len(res.Failures) > 0 {
 			failed = true
@@ -699,7 +817,7 @@ func oracleSweep(quick bool) {
 	base := stress.DefaultConfig(1)
 	base.Mode = core.Lazy
 	base.BreakWR = true
-	res := stress.Explore(base, 8)
+	res := stress.ExploreParallel(base, 8, workers)
 	if len(res.Failures) == 0 {
 		failed = true
 		fmt.Fprintln(out, "broken W-R variant: NOT DETECTED (oracle is blind)")
@@ -730,40 +848,49 @@ func causalFigure(sc harness.SweepConfig) {
 	fmt.Fprintln(out, "== Causal: critical path vs makespan (top-3 blame lines per cell) ==")
 	fmt.Fprintf(out, "%-14s %-14s %7s %12s %12s %8s  %s\n",
 		"system", "workload", "threads", "path(cyc)", "makespan", "cover", "top blame (share of path)")
-	for _, name := range []string{"RBTree", "RandomGraph"} {
-		f, _ := workloads.ByName(name)
-		for _, sys := range []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy} {
-			for _, th := range sc.Threads {
-				res, err := harness.Run(harness.RunConfig{
-					System: sys, Workload: f, Threads: th,
-					OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
-					Metrics: sc.Metrics, Flight: true,
-				})
-				if err != nil {
-					fatal(err)
-				}
-				if sc.OnResult != nil {
-					sc.OnResult(res)
-				}
-				rep := causal.Analyze(res.Flight.Snapshot(),
-					causal.Options{Cores: sc.Machine.Cores, TopBlame: 3})
-				if rep == nil {
-					continue
-				}
-				blame := ""
-				for i, b := range rep.Blame {
-					if i > 0 {
-						blame += "  "
-					}
-					blame += fmt.Sprintf("0x%x %.0f%%", b.Line, b.Share*100)
-					if b.FPCycles > 0 {
-						blame += fmt.Sprintf(" (fp %.0f%%)", float64(b.FPCycles)/float64(b.Cycles)*100)
-					}
-				}
-				fmt.Fprintf(out, "%-14s %-14s %7d %12d %12d %7.1f%%  %s\n",
-					sys, name, th, rep.PathCycles, uint64(rep.Makespan), rep.Coverage*100, blame)
+	names := []string{"RBTree", "RandomGraph"}
+	systems := []harness.SystemName{harness.FlexTMEager, harness.FlexTMLazy}
+	factories := make([]workloads.Factory, len(names))
+	for i, name := range names {
+		factories[i], _ = workloads.ByName(name)
+	}
+	perWorkload := len(systems) * len(sc.Threads)
+	err := sweepexec.Map(sc.Exec(), len(names)*perWorkload,
+		func(i int) (harness.Result, error) {
+			w, r := i/perWorkload, i%perWorkload
+			return sc.RunCell(harness.RunConfig{
+				System: systems[r/len(sc.Threads)], Workload: factories[w],
+				Threads: sc.Threads[r%len(sc.Threads)],
+				OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: true,
+				Metrics: sc.Metrics, Flight: true,
+			})
+		},
+		func(i int, res harness.Result) error {
+			if sc.OnResult != nil {
+				sc.OnResult(res)
 			}
-		}
+			rep := causal.Analyze(res.Flight.Snapshot(),
+				causal.Options{Cores: sc.Machine.Cores, TopBlame: 3})
+			if rep == nil {
+				return nil
+			}
+			blame := ""
+			for i, b := range rep.Blame {
+				if i > 0 {
+					blame += "  "
+				}
+				blame += fmt.Sprintf("0x%x %.0f%%", b.Line, b.Share*100)
+				if b.FPCycles > 0 {
+					blame += fmt.Sprintf(" (fp %.0f%%)", float64(b.FPCycles)/float64(b.Cycles)*100)
+				}
+			}
+			fmt.Fprintf(out, "%-14s %-14s %7d %12d %12d %7.1f%%  %s\n",
+				res.System, res.Workload, res.Threads, rep.PathCycles,
+				uint64(rep.Makespan), rep.Coverage*100, blame)
+			return nil
+		})
+	if err != nil {
+		fatal(err)
 	}
 	fmt.Fprintln(out)
 }

@@ -75,8 +75,11 @@ type Artifact struct {
 	// Label names the recording (PR number, CI run, ...); free-form.
 	Label string `json:"label,omitempty"`
 	// Ops is the per-thread operation count the sweep ran with.
-	Ops   int    `json:"ops,omitempty"`
-	Cells []Cell `json:"cells"`
+	Ops int `json:"ops,omitempty"`
+	// Notes carries free-form recording context (e.g. the measured
+	// serial-vs-parallel sweep speedup); ignored by Compare.
+	Notes map[string]string `json:"notes,omitempty"`
+	Cells []Cell            `json:"cells"`
 }
 
 // New returns an empty artifact with the current schema.

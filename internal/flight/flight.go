@@ -259,6 +259,51 @@ func (r *Recorder) SnapshotSince(seq uint64) (out []Rec, gap bool) {
 	return out, gap
 }
 
+// Restore rebuilds a recorder from a previously captured Snapshot, for
+// consumers that analyze a run post mortem (conflictgraph, causal) without
+// having run it — the sweep cell cache's rehydration path. The restored
+// recorder's Snapshot returns exactly the given records; records lost to
+// ring wrap-around before the original snapshot are gone for good, which
+// is also what a live recorder would report. Records naming a core outside
+// [0, cores) are dropped rather than trusted — the input may come from
+// disk.
+func Restore(cores int, recs []Rec) *Recorder {
+	counts := make([]uint64, cores)
+	var maxSeq uint64
+	for _, rec := range recs {
+		if int(rec.Core) < 0 || int(rec.Core) >= cores {
+			continue
+		}
+		counts[rec.Core]++
+		if rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	r := &Recorder{
+		rings:   make([][]Rec, cores),
+		written: make([]uint64, cores),
+		lost:    make([]uint64, cores),
+		seq:     maxSeq,
+	}
+	for i := range r.rings {
+		n := counts[i]
+		if n == 0 {
+			// Keep every ring recordable: RecDur indexes modulo its length.
+			n = 1
+		}
+		r.rings[i] = make([]Rec, n)
+	}
+	for _, rec := range recs {
+		if int(rec.Core) < 0 || int(rec.Core) >= cores {
+			continue
+		}
+		ring := r.rings[rec.Core]
+		ring[r.written[rec.Core]%uint64(len(ring))] = rec
+		r.written[rec.Core]++
+	}
+	return r
+}
+
 // Reset discards all records (the rings stay allocated).
 func (r *Recorder) Reset() {
 	if r == nil {

@@ -13,6 +13,7 @@ import (
 	"flextm/internal/oracle"
 	"flextm/internal/osmodel"
 	"flextm/internal/sim"
+	"flextm/internal/sweepexec"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
@@ -47,6 +48,11 @@ type ChaosSpec struct {
 	// default (DefaultChaosSpec): the fault campaign is exactly where
 	// serializability violations would hide.
 	Oracle bool
+	// Parallel is the campaign's worker count (0 or 1 serial, < 0
+	// GOMAXPROCS). Cells build their own machine and derive their own fault
+	// schedule, so sharding them cannot change any cell's outcome, and
+	// results are gathered in the serial cell order.
+	Parallel int
 }
 
 // DefaultChaosSpec covers every fault class at a low and at the acceptance
@@ -101,17 +107,40 @@ func (r ChaosResult) Ok() bool { return r.Violations == 0 }
 
 // ChaosCampaign runs the full sweep.
 func ChaosCampaign(spec ChaosSpec) ChaosResult {
-	var res ChaosResult
+	type cell struct {
+		class fault.Class
+		rate  float64
+		mode  core.Mode
+	}
+	var cells []cell
 	for _, class := range spec.Classes {
 		for _, rate := range spec.Rates {
 			for _, mode := range spec.Modes {
-				cell := runChaosCell(spec, class, rate, mode)
-				res.Violations += len(cell.Violations)
-				res.Cells = append(res.Cells, cell)
+				cells = append(cells, cell{class, rate, mode})
 			}
 		}
 	}
+	var res ChaosResult
+	// No fn errors and no stop channel, so Map cannot fail.
+	_ = sweepexec.Map(sweepexec.Exec{Workers: chaosWorkers(spec.Parallel)}, len(cells),
+		func(i int) (ChaosCell, error) {
+			return runChaosCell(spec, cells[i].class, cells[i].rate, cells[i].mode), nil
+		},
+		func(i int, c ChaosCell) error {
+			res.Violations += len(c.Violations)
+			res.Cells = append(res.Cells, c)
+			return nil
+		})
 	return res
+}
+
+// chaosWorkers maps the spec's Parallel knob onto the executor's
+// convention (0 means serial here, GOMAXPROCS there).
+func chaosWorkers(parallel int) int {
+	if parallel == 0 {
+		return 1
+	}
+	return parallel
 }
 
 // runChaosCell executes one cell of the campaign.

@@ -11,7 +11,8 @@ import (
 	"flextm/internal/observatory"
 	"flextm/internal/signature"
 	"flextm/internal/sim"
-	"flextm/internal/tmapi"
+	"flextm/internal/sweepexec"
+	cellcache "flextm/internal/sweepexec/cache"
 	"flextm/internal/tmesi"
 	"flextm/internal/workloads"
 )
@@ -48,8 +49,30 @@ type SweepConfig struct {
 	// Final frame.
 	Observe *observatory.Pump
 	// OnResult, if non-nil, observes every data point as it completes
-	// (paperbench uses it for machine-readable output).
+	// (paperbench uses it for machine-readable output). It is always called
+	// from the sweeping goroutine, in the serial cell order, whatever
+	// Parallel is set to.
 	OnResult func(Result)
+	// Parallel is the sweep's worker count: 0 or 1 runs cells serially on
+	// the calling goroutine, > 1 shards them across that many goroutines,
+	// < 0 selects GOMAXPROCS. Cells are independent deterministic
+	// simulations and results are delivered in serial order, so every
+	// artifact is byte-identical at any setting. Forced serial while
+	// Observe is attached (the pump is re-bound per run).
+	Parallel int
+	// CacheDir, when non-empty and Cache is nil, opens a content-addressed
+	// cell cache rooted there: cacheable cells replay from the store
+	// instead of simulating. See internal/sweepexec/cache.
+	CacheDir string
+	// Cache is the cell store consulted for every cacheable cell; nil (and
+	// an empty CacheDir) disables caching. Callers wanting hit/miss stats
+	// open the store themselves and set this field.
+	Cache *cellcache.Store
+	// Stop, when non-nil and closed, cancels the sweep between cells: the
+	// figure function returns an error wrapping sweepexec.ErrStopped, with
+	// every already-emitted result still delivered (the SIGINT
+	// partial-artifact path).
+	Stop <-chan struct{}
 }
 
 // observe forwards a finished data point to the sweep's observer.
@@ -78,34 +101,125 @@ func ws1Systems() []SystemName { return []SystemName{CGL, FlexTMEager, RTMF, RST
 func ws2Systems() []SystemName { return []SystemName{CGL, FlexTMEager, TL2} }
 
 // Figure4 regenerates the throughput/scalability study: every workload of
-// Table 3(b) against its system set, normalized to 1-thread CGL.
+// Table 3(b) against its system set, normalized to 1-thread CGL. The
+// baselines run as their own parallel phase, then the whole
+// workload × system × threads grid is flattened into one sweep so every
+// core stays busy across workload boundaries.
 func Figure4(sc SweepConfig) ([]Plot, error) {
-	var plots []Plot
-	for _, f := range workloads.All() {
-		systems := ws1Systems()
-		if f.Name == "Vacation-Low" || f.Name == "Vacation-High" {
-			systems = ws2Systems()
-		}
-		plot, err := sweep(sc, f, systems)
-		if err != nil {
-			return nil, fmt.Errorf("figure 4 (%s): %w", f.Name, err)
-		}
-		plots = append(plots, plot)
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
 	}
-	return plots, nil
+	fs := workloads.All()
+	systems := make([][]SystemName, len(fs))
+	for i, f := range fs {
+		systems[i] = ws1Systems()
+		if f.Name == "Vacation-Low" || f.Name == "Vacation-High" {
+			systems[i] = ws2Systems()
+		}
+	}
+	bases := make([]float64, len(fs))
+	err := sweepexec.Map(sc.exec(), len(fs),
+		func(i int) (float64, error) {
+			b, err := sc.baseline(fs[i])
+			if err != nil {
+				return 0, fmt.Errorf("figure 4 (%s): %w", fs[i].Name, err)
+			}
+			return b, nil
+		},
+		func(i int, b float64) error { bases[i] = b; return nil })
+	if err != nil {
+		return nil, err
+	}
+	return sweepGrid(sc, "figure 4", fs, systems, bases)
 }
 
 // Figure5 regenerates the eager-vs-lazy study on the four contended
 // workloads (Figure 5a-d), normalized to 1-thread FlexTM(Eager).
 func Figure5(sc SweepConfig) ([]Plot, error) {
-	var plots []Plot
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
+	}
+	var fs []workloads.Factory
 	for _, name := range []string{"RBTree", "Vacation-High", "LFUCache", "RandomGraph"} {
 		f, _ := workloads.ByName(name)
-		plot, err := sweepNormalizedTo(sc, f, []SystemName{FlexTMEager, FlexTMLazy}, FlexTMEager)
-		if err != nil {
-			return nil, fmt.Errorf("figure 5 (%s): %w", name, err)
+		fs = append(fs, f)
+	}
+	systems := make([][]SystemName, len(fs))
+	bases := make([]float64, len(fs))
+	err := sweepexec.Map(sc.exec(), len(fs),
+		func(i int) (float64, error) {
+			systems[i] = []SystemName{FlexTMEager, FlexTMLazy}
+			res, err := sc.RunCell(RunConfig{
+				System: FlexTMEager, Workload: fs[i], Threads: 1, OpsPerThread: sc.Ops,
+				Machine: sc.Machine, Verify: sc.Verify,
+			})
+			if err != nil {
+				return 0, fmt.Errorf("figure 5 (%s): %w", fs[i].Name, err)
+			}
+			return res.Throughput, nil
+		},
+		func(i int, b float64) error { bases[i] = b; return nil })
+	if err != nil {
+		return nil, err
+	}
+	return sweepGrid(sc, "figure 5", fs, systems, bases)
+}
+
+// gridCell addresses one point of a flattened multi-workload sweep.
+type gridCell struct {
+	w   int // workload index
+	s   int // series index within the workload's plot
+	sys SystemName
+	th  int
+}
+
+// sweepGrid runs the flattened workload × system × threads grid through
+// the sweep executor. The fold — OnResult, normalized points, the
+// conflict-degree table — happens in the emit callback, which sweepexec
+// serializes in cell-index order, so the output is the serial loop's
+// output regardless of Parallel.
+func sweepGrid(sc SweepConfig, figure string, fs []workloads.Factory, systems [][]SystemName, bases []float64) ([]Plot, error) {
+	plots := make([]Plot, len(fs))
+	var cells []gridCell
+	for wi, f := range fs {
+		plots[wi] = Plot{Workload: f.Name}
+		for si, sysName := range systems[wi] {
+			plots[wi].Series = append(plots[wi].Series, Series{System: sysName, Points: map[int]float64{}})
+			for _, th := range sc.Threads {
+				cells = append(cells, gridCell{wi, si, sysName, th})
+			}
 		}
-		plots = append(plots, plot)
+	}
+	err := sweepexec.Map(sc.exec(), len(cells),
+		func(i int) (Result, error) {
+			c := cells[i]
+			res, err := sc.RunCell(RunConfig{
+				System: c.sys, Workload: fs[c.w], Threads: c.th, OpsPerThread: sc.Ops,
+				Machine: sc.Machine, Verify: sc.Verify, Metrics: sc.Metrics,
+				Flight: sc.Flight, Observe: sc.Observe,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("%s (%s): %s@%d: %w", figure, fs[c.w].Name, c.sys, c.th, err)
+			}
+			return res, nil
+		},
+		func(i int, res Result) error {
+			c := cells[i]
+			sc.observe(res)
+			plot := &plots[c.w]
+			plot.Series[c.s].Points[c.th] = res.Throughput / bases[c.w]
+			if c.sys == FlexTMEager || c.sys == FlexTMLazy {
+				switch c.th {
+				case 8:
+					plot.Md8, plot.Mx8 = res.MedianConflicts, res.MaxConflicts
+				case 16:
+					plot.Md16, plot.Mx16 = res.MedianConflicts, res.MaxConflicts
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return plots, nil
 }
@@ -113,7 +227,10 @@ func Figure5(sc SweepConfig) ([]Plot, error) {
 // sweep runs the systems across the thread counts, normalized to 1-thread
 // CGL on the same workload and machine.
 func sweep(sc SweepConfig, f workloads.Factory, systems []SystemName) (Plot, error) {
-	base, err := Baseline(f, sc.Machine, sc.Ops)
+	if err := sc.ensureCache(); err != nil {
+		return Plot{}, err
+	}
+	base, err := sc.baseline(f)
 	if err != nil {
 		return Plot{}, err
 	}
@@ -122,7 +239,10 @@ func sweep(sc SweepConfig, f workloads.Factory, systems []SystemName) (Plot, err
 
 // sweepNormalizedTo normalizes to the 1-thread run of the given system.
 func sweepNormalizedTo(sc SweepConfig, f workloads.Factory, systems []SystemName, norm SystemName) (Plot, error) {
-	res, err := Run(RunConfig{
+	if err := sc.ensureCache(); err != nil {
+		return Plot{}, err
+	}
+	res, err := sc.RunCell(RunConfig{
 		System: norm, Workload: f, Threads: 1, OpsPerThread: sc.Ops,
 		Machine: sc.Machine, Verify: sc.Verify,
 	})
@@ -132,31 +252,52 @@ func sweepNormalizedTo(sc SweepConfig, f workloads.Factory, systems []SystemName
 	return sweepWithBase(sc, f, systems, res.Throughput)
 }
 
+// sweepWithBase is the single-workload grid (the harness tests drive it
+// directly); the error text deliberately omits the figure/workload prefix
+// the multi-workload entry points add.
 func sweepWithBase(sc SweepConfig, f workloads.Factory, systems []SystemName, base float64) (Plot, error) {
 	plot := Plot{Workload: f.Name}
-	for _, sysName := range systems {
-		s := Series{System: sysName, Points: map[int]float64{}}
+	type cell struct {
+		s   int
+		sys SystemName
+		th  int
+	}
+	var cells []cell
+	for si, sysName := range systems {
+		plot.Series = append(plot.Series, Series{System: sysName, Points: map[int]float64{}})
 		for _, th := range sc.Threads {
-			res, err := Run(RunConfig{
-				System: sysName, Workload: f, Threads: th, OpsPerThread: sc.Ops,
+			cells = append(cells, cell{si, sysName, th})
+		}
+	}
+	err := sweepexec.Map(sc.exec(), len(cells),
+		func(i int) (Result, error) {
+			c := cells[i]
+			res, err := sc.RunCell(RunConfig{
+				System: c.sys, Workload: f, Threads: c.th, OpsPerThread: sc.Ops,
 				Machine: sc.Machine, Verify: sc.Verify, Metrics: sc.Metrics,
 				Flight: sc.Flight, Observe: sc.Observe,
 			})
 			if err != nil {
-				return Plot{}, fmt.Errorf("%s@%d: %w", sysName, th, err)
+				return Result{}, fmt.Errorf("%s@%d: %w", c.sys, c.th, err)
 			}
+			return res, nil
+		},
+		func(i int, res Result) error {
+			c := cells[i]
 			sc.observe(res)
-			s.Points[th] = res.Throughput / base
-			if sysName == FlexTMEager || sysName == FlexTMLazy {
-				switch th {
+			plot.Series[c.s].Points[c.th] = res.Throughput / base
+			if c.sys == FlexTMEager || c.sys == FlexTMLazy {
+				switch c.th {
 				case 8:
 					plot.Md8, plot.Mx8 = res.MedianConflicts, res.MaxConflicts
 				case 16:
 					plot.Md16, plot.Mx16 = res.MedianConflicts, res.MaxConflicts
 				}
 			}
-		}
-		plot.Series = append(plot.Series, s)
+			return nil
+		})
+	if err != nil {
+		return Plot{}, err
 	}
 	return plot, nil
 }
@@ -175,57 +316,112 @@ type MultiprogramPoint struct {
 
 // Multiprogram runs Figure 5(e)/(f) for the given transactional workload.
 func Multiprogram(sc SweepConfig, f workloads.Factory, appThreads []int) ([]MultiprogramPoint, error) {
-	// Isolated baselines.
-	appBase, err := isolatedThroughput(sc, func(sys *tmesi.System) (tmapi.Runtime, workloads.Workload, error) {
-		rt, err := NewRuntime(FlexTMEager, sys)
-		return rt, f.New(), err
-	})
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
+	}
+	// Isolated baselines: two independent cells, run as their own phase.
+	type baseCell struct {
+		system SystemName
+		f      workloads.Factory
+	}
+	baseCells := []baseCell{
+		{FlexTMEager, f},
+		{CGL, primeFactory()},
+	}
+	bases := make([]float64, len(baseCells))
+	err := sweepexec.Map(sc.exec(), len(baseCells),
+		func(i int) (float64, error) {
+			return isolatedThroughput(sc, baseCells[i].system, baseCells[i].f)
+		},
+		func(i int, b float64) error { bases[i] = b; return nil })
 	if err != nil {
 		return nil, err
 	}
-	primeBase, err := isolatedThroughput(sc, func(sys *tmesi.System) (tmapi.Runtime, workloads.Workload, error) {
-		rt, err := NewRuntime(CGL, sys)
-		return rt, workloads.NewPrime(), err
-	})
-	if err != nil {
-		return nil, err
-	}
+	appBase, primeBase := bases[0], bases[1]
 
-	var points []MultiprogramPoint
+	type cell struct {
+		mode SystemName
+		at   int
+	}
+	var cells []cell
 	for _, mode := range []SystemName{FlexTMEager, FlexTMLazy} {
 		for _, at := range appThreads {
-			p, err := multiprogramRun(sc, f, mode, at, appBase, primeBase)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, p)
+			cells = append(cells, cell{mode, at})
 		}
+	}
+	points := make([]MultiprogramPoint, 0, len(cells))
+	err = sweepexec.Map(sc.exec(), len(cells),
+		func(i int) (MultiprogramPoint, error) {
+			c := cells[i]
+			return multiprogramRun(sc, f, c.mode, c.at, appBase, primeBase)
+		},
+		func(i int, p MultiprogramPoint) error { points = append(points, p); return nil })
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
 
-func isolatedThroughput(sc SweepConfig, mk func(*tmesi.System) (tmapi.Runtime, workloads.Workload, error)) (float64, error) {
-	sys := tmesi.New(sc.Machine)
-	rt, w, err := mk(sys)
-	if err != nil {
-		return 0, err
-	}
-	env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
-	w.Setup(env)
-	e := sim.NewEngine()
-	e.Spawn(w.Name(), 0, func(ctx *sim.Ctx) {
-		th := rt.Bind(ctx, 0)
-		for j := 0; j < sc.Ops; j++ {
-			w.Op(th)
-		}
-	})
-	if blocked := e.Run(); blocked != 0 {
-		return 0, fmt.Errorf("harness: isolated run blocked")
-	}
-	return float64(sc.Ops) / float64(e.MaxTime()) * 1e6, nil
+// primeFactory wraps the prime factorizer (the multiprogramming
+// experiment's background job) as a workload factory.
+func primeFactory() workloads.Factory {
+	return workloads.Factory{Name: "Prime", New: func() workloads.Workload { return workloads.NewPrime() }}
 }
 
+// isolatedThroughput runs one thread of the workload alone on the machine
+// (through the cell cache).
+func isolatedThroughput(sc SweepConfig, system SystemName, f workloads.Factory) (float64, error) {
+	type key struct {
+		System   SystemName   `json:"system"`
+		Workload string       `json:"workload"`
+		Machine  tmesi.Config `json:"machine"`
+		Ops      int          `json:"ops"`
+	}
+	return cellValue(sc.Cache, "isolated", key{system, f.Name, sc.Machine, sc.Ops}, func() (float64, error) {
+		sys := tmesi.New(sc.Machine)
+		rt, err := NewRuntime(system, sys)
+		if err != nil {
+			return 0, err
+		}
+		w := f.New()
+		env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
+		w.Setup(env)
+		e := sim.NewEngine()
+		e.Spawn(w.Name(), 0, func(ctx *sim.Ctx) {
+			th := rt.Bind(ctx, 0)
+			for j := 0; j < sc.Ops; j++ {
+				w.Op(th)
+			}
+		})
+		if blocked := e.Run(); blocked != 0 {
+			return 0, fmt.Errorf("harness: isolated run blocked")
+		}
+		return float64(sc.Ops) / float64(e.MaxTime()) * 1e6, nil
+	})
+}
+
+// multiprogramRun runs one (mode, appThreads) point through the cell
+// cache; the shared-machine contention run itself is deterministic, so the
+// point is a pure function of the key.
 func multiprogramRun(sc SweepConfig, f workloads.Factory, mode SystemName, appThreads int,
+	appBase, primeBase float64) (MultiprogramPoint, error) {
+	type key struct {
+		Workload   string       `json:"workload"`
+		Mode       SystemName   `json:"mode"`
+		AppThreads int          `json:"appThreads"`
+		Machine    tmesi.Config `json:"machine"`
+		Ops        int          `json:"ops"`
+		AppBase    float64      `json:"appBase"`
+		PrimeBase  float64      `json:"primeBase"`
+	}
+	return cellValue(sc.Cache, "multiprogram",
+		key{f.Name, mode, appThreads, sc.Machine, sc.Ops, appBase, primeBase},
+		func() (MultiprogramPoint, error) {
+			return multiprogramRunLive(sc, f, mode, appThreads, appBase, primeBase)
+		})
+}
+
+func multiprogramRunLive(sc SweepConfig, f workloads.Factory, mode SystemName, appThreads int,
 	appBase, primeBase float64) (MultiprogramPoint, error) {
 
 	cores := sc.Machine.Cores
@@ -305,42 +501,56 @@ type OverflowResult struct {
 }
 
 // OverflowAblation runs the comparison on the given workloads with an L1
-// small enough to force set-conflict evictions of speculative lines.
+// small enough to force set-conflict evictions of speculative lines. Each
+// workload contributes two grid cells (bounded, then ideal), emitted in
+// that order.
 func OverflowAblation(sc SweepConfig, names []string, threads int) ([]OverflowResult, error) {
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
+	}
 	small := sc.Machine
 	small.L1 = cache.Config{Sets: 16, Ways: 2, VictimSize: 8}
 	unbounded := small
 	unbounded.L1.UnboundedTMIVictim = true // ideal: infinite speculative buffer
 
-	var out []OverflowResult
-	for _, name := range names {
+	fs := make([]workloads.Factory, len(names))
+	for i, name := range names {
 		f, ok := workloads.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("harness: unknown workload %q", name)
 		}
-		bounded, err := Run(RunConfig{
-			System: FlexTMLazy, Workload: f, Threads: threads,
-			OpsPerThread: sc.Ops, Machine: small, Verify: sc.Verify,
-			Metrics: sc.Metrics, Flight: sc.Flight, Observe: sc.Observe,
+		fs[i] = f
+	}
+	out := make([]OverflowResult, 0, len(names))
+	bounded := make([]Result, len(names))
+	err := sweepexec.Map(sc.exec(), 2*len(names),
+		func(i int) (Result, error) {
+			machine := small
+			if i%2 == 1 {
+				machine = unbounded
+			}
+			return sc.RunCell(RunConfig{
+				System: FlexTMLazy, Workload: fs[i/2], Threads: threads,
+				OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
+				Metrics: sc.Metrics, Flight: sc.Flight, Observe: sc.Observe,
+			})
+		},
+		func(i int, res Result) error {
+			sc.observe(res)
+			if i%2 == 0 {
+				bounded[i/2] = res
+				return nil
+			}
+			b := bounded[i/2]
+			r := OverflowResult{Workload: names[i/2], Overflows: b.Machine.Overflows}
+			if b.Throughput > 0 {
+				r.Slowdown = res.Throughput / b.Throughput
+			}
+			out = append(out, r)
+			return nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		sc.observe(bounded)
-		ideal, err := Run(RunConfig{
-			System: FlexTMLazy, Workload: f, Threads: threads,
-			OpsPerThread: sc.Ops, Machine: unbounded, Verify: sc.Verify,
-			Metrics: sc.Metrics, Flight: sc.Flight, Observe: sc.Observe,
-		})
-		if err != nil {
-			return nil, err
-		}
-		sc.observe(ideal)
-		r := OverflowResult{Workload: name, Overflows: bounded.Machine.Overflows}
-		if bounded.Throughput > 0 {
-			r.Slowdown = ideal.Throughput / bounded.Throughput
-		}
-		out = append(out, r)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -397,28 +607,39 @@ func SignatureAblation(sc SweepConfig, name string, threads int, widths []int) (
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", name)
 	}
-	var out []SigResult
-	for _, bits := range widths {
-		machine := sc.Machine
-		machine.Sig = signature.Config{Bits: bits, Banks: 4}
-		res, err := Run(RunConfig{
-			System: FlexTMLazy, Workload: f, Threads: threads,
-			OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
-			Metrics: true, Flight: sc.Flight, Observe: sc.Observe,
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
+	}
+	out := make([]SigResult, 0, len(widths))
+	err := sweepexec.Map(sc.exec(), len(widths),
+		func(i int) (Result, error) {
+			machine := sc.Machine
+			machine.Sig = signature.Config{Bits: widths[i], Banks: 4}
+			res, err := sc.RunCell(RunConfig{
+				System: FlexTMLazy, Workload: f, Threads: threads,
+				OpsPerThread: sc.Ops, Machine: machine, Verify: sc.Verify,
+				Metrics: true, Flight: sc.Flight, Observe: sc.Observe,
+			})
+			if err != nil {
+				return Result{}, fmt.Errorf("sig width %d: %w", widths[i], err)
+			}
+			return res, nil
+		},
+		func(i int, res Result) error {
+			sc.observe(res)
+			r := SigResult{
+				Bits:       widths[i],
+				Throughput: res.Throughput,
+				AbortRate:  float64(res.Aborts) / float64(res.Commits),
+			}
+			if res.Telemetry != nil {
+				r.ObservedFP, r.PredictedFP = res.Telemetry.SigFPRates()
+			}
+			out = append(out, r)
+			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("sig width %d: %w", bits, err)
-		}
-		sc.observe(res)
-		r := SigResult{
-			Bits:       bits,
-			Throughput: res.Throughput,
-			AbortRate:  float64(res.Aborts) / float64(res.Commits),
-		}
-		if res.Telemetry != nil {
-			r.ObservedFP, r.PredictedFP = res.Telemetry.SigFPRates()
-		}
-		out = append(out, r)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -431,17 +652,81 @@ type ManagerResult struct {
 	AbortRate  float64
 }
 
+// newManager constructs one of the ablation's contention managers by
+// name. Fresh construction per cell (managers are stateless parameter
+// structs) keeps cells independent, so they shard and cache cleanly.
+func newManager(name string) (cm.Manager, error) {
+	switch name {
+	case "Polka":
+		return cm.NewPolka(), nil
+	case "Karma":
+		return cm.NewKarma(), nil
+	case "Greedy":
+		return cm.NewGreedy(), nil
+	case "Timestamp":
+		return cm.NewTimestamp(), nil
+	case "Timid":
+		return cm.Timid{}, nil
+	case "Aggressive":
+		return cm.Aggressive{}, nil
+	}
+	return nil, fmt.Errorf("harness: unknown contention manager %q", name)
+}
+
+// managerNames is the ablation's roster, in table order.
+func managerNames() []string {
+	return []string{"Polka", "Karma", "Greedy", "Timestamp", "Timid", "Aggressive"}
+}
+
 // ManagerAblation compares contention managers on a contended workload in
 // eager mode, where arbitration policy matters most.
 func ManagerAblation(sc SweepConfig, name string, threads int) ([]ManagerResult, error) {
+	if err := sc.ensureCache(); err != nil {
+		return nil, err
+	}
 	f, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", name)
 	}
-	managers := []cm.Manager{cm.NewPolka(), cm.NewKarma(), cm.NewGreedy(), cm.NewTimestamp(), cm.Timid{}, cm.Aggressive{}}
-	var out []ManagerResult
+	type cell struct {
+		mode core.Mode
+		mgr  string
+	}
+	var cells []cell
 	for _, mode := range []core.Mode{core.Eager, core.Lazy} {
-		for _, mgr := range managers {
+		for _, mgr := range managerNames() {
+			cells = append(cells, cell{mode, mgr})
+		}
+	}
+	out := make([]ManagerResult, 0, len(cells))
+	err := sweepexec.Map(sc.exec(), len(cells),
+		func(i int) (ManagerResult, error) {
+			return runManagerCell(sc, f, cells[i].mode, cells[i].mgr, threads)
+		},
+		func(i int, r ManagerResult) error { out = append(out, r); return nil })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runManagerCell runs one (mode, manager) cell through the cell cache.
+func runManagerCell(sc SweepConfig, f workloads.Factory, mode core.Mode, mgrName string, threads int) (ManagerResult, error) {
+	type key struct {
+		Workload string       `json:"workload"`
+		Mode     string       `json:"mode"`
+		Manager  string       `json:"manager"`
+		Threads  int          `json:"threads"`
+		Machine  tmesi.Config `json:"machine"`
+		Ops      int          `json:"ops"`
+	}
+	return cellValue(sc.Cache, "manager",
+		key{f.Name, mode.String(), mgrName, threads, sc.Machine, sc.Ops},
+		func() (ManagerResult, error) {
+			mgr, err := newManager(mgrName)
+			if err != nil {
+				return ManagerResult{}, err
+			}
 			sys := tmesi.New(sc.Machine)
 			rt := core.New(sys, mode, mgr)
 			env := &workloads.Env{Image: sys.Image(), Alloc: sys.Alloc(), Raw: sys.ReadWordRaw}
@@ -464,10 +749,10 @@ func ManagerAblation(sc SweepConfig, name string, threads int) ([]ManagerResult,
 				})
 			}
 			if blocked := e.Run(); blocked != 0 {
-				return nil, fmt.Errorf("manager ablation: %d threads blocked", blocked)
+				return ManagerResult{}, fmt.Errorf("manager ablation: %d threads blocked", blocked)
 			}
 			if err := w.Verify(env); err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", mode, mgr.Name(), err)
+				return ManagerResult{}, fmt.Errorf("%s/%s: %w", mode, mgr.Name(), err)
 			}
 			r := ManagerResult{Manager: mgr.Name(), Mode: mode.String()}
 			for _, d := range spans {
@@ -477,8 +762,6 @@ func ManagerAblation(sc SweepConfig, name string, threads int) ([]ManagerResult,
 			}
 			st := rt.Stats()
 			r.AbortRate = float64(st.Aborts) / float64(st.Commits)
-			out = append(out, r)
-		}
-	}
-	return out, nil
+			return r, nil
+		})
 }

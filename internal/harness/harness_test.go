@@ -9,14 +9,9 @@ import (
 	"flextm/internal/workloads"
 )
 
-func quickSweep() SweepConfig {
-	return SweepConfig{
-		Machine: tmesi.DefaultConfig(),
-		Threads: []int{1, 4},
-		Ops:     40,
-		Verify:  true,
-	}
-}
+// quickSweep is QuickSweep (internal/harness/testsweep.go), the one
+// canonical small test sweep.
+func quickSweep() SweepConfig { return QuickSweep() }
 
 func TestRunProducesThroughput(t *testing.T) {
 	f, _ := workloads.ByName("HashTable")

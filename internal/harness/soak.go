@@ -7,6 +7,7 @@ import (
 	"flextm/internal/fault"
 	"flextm/internal/sim"
 	"flextm/internal/stress"
+	"flextm/internal/sweepexec"
 )
 
 // SoakConfig parameterizes a governed chaos soak: Cells seed-derived stress
@@ -25,6 +26,11 @@ type SoakConfig struct {
 	// Threads and Rounds size each cell (<=0 selects 4 and 30).
 	Threads int
 	Rounds  int
+	// Parallel is the campaign's worker count (0 or 1 serial, < 0
+	// GOMAXPROCS). Each cell derives its whole schedule from Seed+i, so
+	// sharding cells cannot change any cell's outcome — transition logs
+	// included — and results are gathered in serial cell order.
+	Parallel int
 }
 
 // SoakCell is one (governed, ungoverned) pair's outcome.
@@ -91,11 +97,14 @@ func Soak(sc SoakConfig) SoakResult {
 		sc.Rounds = 30
 	}
 	var res SoakResult
-	for i := 0; i < sc.Cells; i++ {
-		cell := runSoakCell(sc, uint64(i))
-		res.Failures += len(cell.Failures)
-		res.Cells = append(res.Cells, cell)
-	}
+	// No fn errors and no stop channel, so Map cannot fail.
+	_ = sweepexec.Map(sweepexec.Exec{Workers: chaosWorkers(sc.Parallel)}, sc.Cells,
+		func(i int) (SoakCell, error) { return runSoakCell(sc, uint64(i)), nil },
+		func(i int, cell SoakCell) error {
+			res.Failures += len(cell.Failures)
+			res.Cells = append(res.Cells, cell)
+			return nil
+		})
 	return res
 }
 

@@ -1,0 +1,238 @@
+package harness
+
+// This file wires the harness sweeps to the parallel sweep engine
+// (internal/sweepexec) and the content-addressed cell cache
+// (internal/sweepexec/cache). Every figure is a grid of independent
+// deterministic cells; the figure functions flatten their grids and hand
+// them to sweepexec.Map, which executes cells on SweepConfig.Parallel
+// workers but emits results — and therefore OnResult callbacks and plot
+// folds — in exactly the serial order. The cache sits underneath: a
+// cacheable cell's full Result round-trips through JSON (telemetry
+// snapshot and flight records included), so a warm store replays a sweep
+// without running a single simulation.
+
+import (
+	"flextm/internal/fault"
+	"flextm/internal/flight"
+	"flextm/internal/sim"
+	"flextm/internal/sweepexec"
+	cellcache "flextm/internal/sweepexec/cache"
+	"flextm/internal/telemetry"
+	"flextm/internal/tmesi"
+	"flextm/internal/workloads"
+)
+
+// CellCacheSchema is the cell cache's code schema version. Bump it on ANY
+// change that alters simulation results — machine timing, protocol logic,
+// workload generation, metric derivation — so stale entries miss instead
+// of resurrecting the old behavior. The version participates in both the
+// key hash and the stored envelope.
+const CellCacheSchema = "flextm-cell/v1"
+
+// cellSchema namespaces the schema per cell kind, so a "run" entry can
+// never decode as a "baseline" entry even under a hash collision.
+func cellSchema(kind string) string { return CellCacheSchema + "/" + kind }
+
+// exec resolves the sweep's executor. Observation forces serial: the
+// shared pump is re-bound per run and its subscribers contract to see one
+// run stream at a time.
+func (sc SweepConfig) exec() sweepexec.Exec {
+	w := sc.Parallel
+	if w == 0 {
+		w = 1
+	}
+	if sc.Observe != nil {
+		w = 1
+	}
+	return sweepexec.Exec{Workers: w, Stop: sc.Stop}
+}
+
+// Exec is the exported form of exec, for commands (cmd/paperbench) that
+// flatten their own grids over sweepexec.Map with this sweep's worker
+// count, stop channel, and observation constraint.
+func (sc SweepConfig) Exec() sweepexec.Exec { return sc.exec() }
+
+// ensureCache opens CacheDir into Cache when the caller wired a directory
+// but no store. Called once at the top of each figure function, on its
+// local copy, so the store flows to every cell of that figure.
+func (sc *SweepConfig) ensureCache() error {
+	if sc.Cache != nil || sc.CacheDir == "" {
+		return nil
+	}
+	s, err := cellcache.Open(sc.CacheDir)
+	if err != nil {
+		return err
+	}
+	sc.Cache = s
+	return nil
+}
+
+// cacheableRun reports whether rc's Result is a pure serializable function
+// of its serializable fields. Runs carrying live hooks (tracer, yield,
+// observation, governor), a liveness override, or the oracle are executed
+// live: their value is in the side effects and reports the cache cannot
+// replay.
+func cacheableRun(rc RunConfig) bool {
+	return rc.Tracer == nil && rc.YieldTo == nil && rc.Liveness == nil &&
+		!rc.Oracle && rc.Observe == nil && rc.Govern == nil
+}
+
+// runKey is the canonical cacheable identity of one Run: every RunConfig
+// field that can influence the Result of a cacheable run. json.Marshal
+// emits struct fields in declaration order, so the encoding is canonical
+// and equal configs always produce equal keys.
+type runKey struct {
+	System        SystemName   `json:"system"`
+	Workload      string       `json:"workload"`
+	Threads       int          `json:"threads"`
+	Ops           int          `json:"ops"`
+	Warmup        int          `json:"warmup"`
+	Machine       tmesi.Config `json:"machine"`
+	Verify        bool         `json:"verify"`
+	Metrics       bool         `json:"metrics"`
+	Flight        bool         `json:"flight"`
+	FlightPerCore int          `json:"flightPerCore"`
+	Faults        fault.Config `json:"faults"`
+}
+
+// cachedResult is Result's serializable mirror. The flight recorder is
+// flattened to its live records and rebuilt with flight.Restore on a hit;
+// everything else round-trips through encoding/json exactly (integers, and
+// float64 via its shortest-representation encoding).
+type cachedResult struct {
+	System          SystemName          `json:"system"`
+	Workload        string              `json:"workload"`
+	Threads         int                 `json:"threads"`
+	Commits         uint64              `json:"commits"`
+	Aborts          uint64              `json:"aborts"`
+	Cycles          sim.Time            `json:"cycles"`
+	Throughput      float64             `json:"throughput"`
+	MedianConflicts int                 `json:"medianConflicts"`
+	MaxConflicts    int                 `json:"maxConflicts"`
+	Machine         tmesi.Stats         `json:"machine"`
+	Telemetry       *telemetry.Snapshot `json:"telemetry,omitempty"`
+	FlightRecs      []flight.Rec        `json:"flightRecs,omitempty"`
+	HasFlight       bool                `json:"hasFlight,omitempty"`
+	Escalations     uint64              `json:"escalations"`
+	FaultReport     *fault.Report       `json:"faultReport,omitempty"`
+}
+
+func mirrorResult(res Result) cachedResult {
+	cv := cachedResult{
+		System:          res.System,
+		Workload:        res.Workload,
+		Threads:         res.Threads,
+		Commits:         res.Commits,
+		Aborts:          res.Aborts,
+		Cycles:          res.Cycles,
+		Throughput:      res.Throughput,
+		MedianConflicts: res.MedianConflicts,
+		MaxConflicts:    res.MaxConflicts,
+		Machine:         res.Machine,
+		Telemetry:       res.Telemetry,
+		Escalations:     res.Escalations,
+		FaultReport:     res.FaultReport,
+	}
+	if res.Flight != nil {
+		cv.HasFlight = true
+		cv.FlightRecs = res.Flight.Snapshot()
+	}
+	return cv
+}
+
+func (cv cachedResult) result(cores int) Result {
+	res := Result{
+		System:          cv.System,
+		Workload:        cv.Workload,
+		Threads:         cv.Threads,
+		Commits:         cv.Commits,
+		Aborts:          cv.Aborts,
+		Cycles:          cv.Cycles,
+		Throughput:      cv.Throughput,
+		MedianConflicts: cv.MedianConflicts,
+		MaxConflicts:    cv.MaxConflicts,
+		Machine:         cv.Machine,
+		Telemetry:       cv.Telemetry,
+		Escalations:     cv.Escalations,
+		FaultReport:     cv.FaultReport,
+	}
+	if cv.HasFlight {
+		res.Flight = flight.Restore(cores, cv.FlightRecs)
+	}
+	return res
+}
+
+// RunCell executes one sweep cell through the cell cache: a clean hit
+// replays the stored Result without simulating; a miss (or an uncacheable
+// configuration, or no cache) runs live and, on success, stores the
+// mirror. The nil-cache path falls straight through to Run with no key
+// hashing and no allocation — caching off costs nothing.
+func (sc SweepConfig) RunCell(rc RunConfig) (Result, error) {
+	if sc.Cache == nil || !cacheableRun(rc) {
+		return Run(rc)
+	}
+	schema := cellSchema("run")
+	key, err := cellcache.Key(schema, runKey{
+		System: rc.System, Workload: rc.Workload.Name, Threads: rc.Threads,
+		Ops: rc.OpsPerThread, Warmup: rc.WarmupOps, Machine: rc.Machine,
+		Verify: rc.Verify, Metrics: rc.Metrics, Flight: rc.Flight,
+		FlightPerCore: rc.FlightPerCore, Faults: rc.Faults,
+	})
+	if err != nil {
+		return Run(rc)
+	}
+	var cv cachedResult
+	if sc.Cache.Get(key, schema, &cv) {
+		return cv.result(rc.Machine.Cores), nil
+	}
+	res, err := Run(rc)
+	if err != nil {
+		return res, err
+	}
+	// A failed Put only costs a future miss; the result is already good.
+	_ = sc.Cache.Put(key, schema, mirrorResult(res))
+	return res, nil
+}
+
+// cellValue caches an arbitrary plain-data cell value (a baseline
+// throughput, a multiprogram point, a manager-ablation row) under the
+// canonical encoding of cfg. miss runs the cell live; its error is never
+// cached.
+func cellValue[T any](store *cellcache.Store, kind string, cfg any, miss func() (T, error)) (T, error) {
+	if store == nil {
+		return miss()
+	}
+	schema := cellSchema(kind)
+	key, err := cellcache.Key(schema, cfg)
+	if err != nil {
+		return miss()
+	}
+	var v T
+	if store.Get(key, schema, &v) {
+		return v, nil
+	}
+	v, err = miss()
+	if err != nil {
+		return v, err
+	}
+	_ = store.Put(key, schema, v)
+	return v, nil
+}
+
+// baseline is Baseline through the cell cache.
+func (sc SweepConfig) baseline(f workloads.Factory) (float64, error) {
+	type key struct {
+		Workload string       `json:"workload"`
+		Machine  tmesi.Config `json:"machine"`
+		Ops      int          `json:"ops"`
+	}
+	return cellValue(sc.Cache, "baseline", key{f.Name, sc.Machine, sc.Ops}, func() (float64, error) {
+		return Baseline(f, sc.Machine, sc.Ops)
+	})
+}
+
+// BaselineCell is the exported form of baseline: the 1-thread CGL
+// normalization constant for f, through the cell cache.
+func (sc SweepConfig) BaselineCell(f workloads.Factory) (float64, error) {
+	return sc.baseline(f)
+}

@@ -384,8 +384,17 @@ func (c *checker) buildChains() {
 		}
 	}
 	// W→W edges along each chain; adjacent committers suffice for cycle
-	// detection (the rest are implied by transitivity).
-	for a, chain := range c.chains {
+	// detection (the rest are implied by transitivity). Addresses are
+	// visited in sorted order: edge insertion order decides adjacency
+	// order, and with it which witness cycle findCycles reports — ranging
+	// over the map here would randomize the report between runs.
+	addrs := make([]memory.Addr, 0, len(c.chains))
+	for a := range c.chains {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		chain := c.chains[a]
 		for i := 2; i < len(chain); i++ {
 			from, to := chain[i-1].writer, chain[i].writer
 			if from == to {
@@ -575,7 +584,13 @@ func (c *checker) edgesTouching(id int, a memory.Addr) []Edge {
 		if out[i].From != out[j].From {
 			return out[i].From < out[j].From
 		}
-		return out[i].To < out[j].To
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Addr < out[j].Addr
 	})
 	return out
 }

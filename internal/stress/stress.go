@@ -32,6 +32,7 @@ import (
 	"flextm/internal/oracle"
 	"flextm/internal/osmodel"
 	"flextm/internal/sim"
+	"flextm/internal/sweepexec"
 	"flextm/internal/telemetry"
 	"flextm/internal/tmapi"
 	"flextm/internal/tmesi"
@@ -434,14 +435,29 @@ type ExploreResult struct {
 // Explore runs seeds base.Seed .. base.Seed+n-1 of one configuration and
 // collects the failing outcomes.
 func Explore(base Config, n int) ExploreResult {
+	return ExploreParallel(base, n, 1)
+}
+
+// ExploreParallel is Explore with the seed cells sharded across workers
+// goroutines (1 serial, <= 0 GOMAXPROCS). Each run is a pure function of
+// its Config, so the collected failures — order included — are identical
+// to the serial sweep's at any worker count.
+func ExploreParallel(base Config, n, workers int) ExploreResult {
 	res := ExploreResult{Runs: n}
-	for i := 0; i < n; i++ {
-		cfg := base
-		cfg.Seed = base.Seed + uint64(i)
-		if out := Run(cfg); out.Failed() {
-			res.Failures = append(res.Failures, out)
-		}
-	}
+	// Run never errors (failures are data) and there is no stop channel,
+	// so Map cannot fail.
+	_ = sweepexec.Map(sweepexec.Exec{Workers: workers}, n,
+		func(i int) (Outcome, error) {
+			cfg := base
+			cfg.Seed = base.Seed + uint64(i)
+			return Run(cfg), nil
+		},
+		func(i int, out Outcome) error {
+			if out.Failed() {
+				res.Failures = append(res.Failures, out)
+			}
+			return nil
+		})
 	return res
 }
 

@@ -1,0 +1,290 @@
+// Package cache is the content-addressed cell cache behind `paperbench
+// -cache`: one file per sweep cell, keyed by the hash of the cell's full
+// canonical configuration plus a code schema version. Because every cell
+// is a deterministic function of its configuration, a hit IS the
+// simulation — re-running an unchanged grid touches no simulator code at
+// all, and any code change that alters results must bump the schema
+// version, which changes every key and invalidates the whole store.
+//
+// The store is defensive by construction: a corrupted, truncated, or
+// stale-schema entry is a miss (the cell re-simulates and overwrites it),
+// never an error. A nil *Store is a valid always-miss cache, so callers
+// wire it unconditionally and pay nothing when caching is off.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultMaxEntries bounds the store: past it, the oldest entries (by
+// file modification time) are evicted on Put. Generous relative to the
+// full figure suite (a few hundred cells) so eviction only matters for
+// long-lived stores accumulating many configurations.
+const DefaultMaxEntries = 8192
+
+// Store is an on-disk content-addressed cache. The zero value and the nil
+// pointer are valid always-miss stores.
+type Store struct {
+	dir        string
+	maxEntries int
+
+	hits, misses, puts, evictions, corrupt uint64
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts entries that existed but failed decoding or the
+	// integrity digest — each also counted as a miss.
+	Corrupt uint64 `json:"corrupt"`
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("cache: %d hits, %d misses (%d corrupt), %d puts, %d evictions",
+		s.Hits, s.Misses, s.Corrupt, s.Puts, s.Evictions)
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cellcache: %w", err)
+	}
+	return &Store{dir: dir, maxEntries: DefaultMaxEntries}, nil
+}
+
+// SetMaxEntries overrides the eviction bound (<= 0 restores the default).
+func (s *Store) SetMaxEntries(n int) {
+	if n <= 0 {
+		n = DefaultMaxEntries
+	}
+	s.maxEntries = n
+}
+
+// Key derives the content address for one cell: the hex sha256 of the
+// schema version and the cell configuration's canonical JSON.
+// encoding/json is canonical for our config types — struct fields emit in
+// declaration order and map keys sort — so equal configurations always
+// collide and any changed field, however deep, produces a fresh key.
+func Key(schema string, config any) (string, error) {
+	cfg, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("cellcache: key: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(schema))
+	h.Write([]byte{0})
+	h.Write(cfg)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// envelope is the on-disk entry format. Digest covers Payload alone, so a
+// flipped bit anywhere in the value fails closed as a miss.
+type envelope struct {
+	Schema  string          `json:"schema"`
+	Digest  string          `json:"digest"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+func (s *Store) path(key string) string {
+	// Shard by the first byte of the hash to keep directory listings sane
+	// for large stores.
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Get decodes the entry for key into value and reports whether it was a
+// clean hit. Every failure mode — absent file, unreadable file, malformed
+// JSON, schema skew, digest mismatch, payload/value shape mismatch — is a
+// miss.
+func (s *Store) Get(key, schema string, value any) bool {
+	if s == nil || s.dir == "" {
+		return false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.misses++
+		return false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		s.corrupt++
+		s.misses++
+		return false
+	}
+	if env.Schema != schema || env.Digest != payloadDigest(env.Payload) {
+		s.corrupt++
+		s.misses++
+		return false
+	}
+	if err := json.Unmarshal(env.Payload, value); err != nil {
+		s.corrupt++
+		s.misses++
+		return false
+	}
+	s.hits++
+	return true
+}
+
+// Put stores value under key. Failures are returned but safe to ignore: a
+// failed Put only costs a future miss.
+func (s *Store) Put(key, schema string, value any) error {
+	if s == nil || s.dir == "" {
+		return nil
+	}
+	payload, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("cellcache: put: %w", err)
+	}
+	env := envelope{Schema: schema, Digest: payloadDigest(payload), Payload: payload}
+	data, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("cellcache: put: %w", err)
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("cellcache: put: %w", err)
+	}
+	// Write-then-rename so a crash mid-write leaves no half-entry for a
+	// future Get to read (it would be caught by the digest anyway).
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cellcache: put: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cellcache: put: %w", err)
+	}
+	s.puts++
+	return s.evict()
+}
+
+// evict trims the store to maxEntries, oldest-modified first.
+func (s *Store) evict() error {
+	max := s.maxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	entries, err := s.list()
+	if err != nil {
+		return err
+	}
+	if len(entries) <= max {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	var firstErr error
+	for _, e := range entries[:len(entries)-max] {
+		if err := os.Remove(e.path); err != nil && firstErr == nil {
+			firstErr = err
+		} else if err == nil {
+			s.evictions++
+		}
+	}
+	return firstErr
+}
+
+type entry struct {
+	path  string
+	mtime time.Time
+}
+
+// list walks the store's entry files.
+func (s *Store) list() ([]entry, error) {
+	var out []entry
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, sh.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entry{
+				path:  filepath.Join(s.dir, sh.Name(), f.Name()),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Len counts live entries (test/diagnostic helper).
+func (s *Store) Len() int {
+	if s == nil || s.dir == "" {
+		return 0
+	}
+	entries, err := s.list()
+	if err != nil {
+		return 0
+	}
+	return len(entries)
+}
+
+// Clear removes every entry, keeping the store directory itself.
+func (s *Store) Clear() error {
+	if s == nil || s.dir == "" {
+		return nil
+	}
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("cellcache: clear: %w", err)
+	}
+	for _, sh := range shards {
+		if err := os.RemoveAll(filepath.Join(s.dir, sh.Name())); err != nil {
+			return fmt.Errorf("cellcache: clear: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the store's counters. Nil-safe.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Hits: s.hits, Misses: s.misses, Puts: s.puts, Evictions: s.evictions, Corrupt: s.corrupt}
+}
+
+// Dir reports the store root ("" for a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+func payloadDigest(p []byte) string {
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,237 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type payload struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	Tput  float64 `json:"tput"`
+}
+
+const schema = "test-cell/v1"
+
+func mustKey(t *testing.T, sch string, cfg any) string {
+	t.Helper()
+	k, err := Key(sch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := payload{Name: "RBTree", Count: 42, Tput: 3.25}
+	key := mustKey(t, schema, map[string]any{"workload": "RBTree", "threads": 8})
+
+	var out payload
+	if s.Get(key, schema, &out) {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(key, schema, in); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(key, schema, &out) {
+		t.Fatal("miss after Put")
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+// TestSchemaBumpInvalidates: a new code schema version must turn every
+// existing entry into a miss — both through the key (different hash) and
+// through the envelope check (same key, skewed schema).
+func TestSchemaBumpInvalidates(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	cfg := map[string]int{"threads": 4}
+	oldKey := mustKey(t, "cell/v1", cfg)
+	newKey := mustKey(t, "cell/v2", cfg)
+	if oldKey == newKey {
+		t.Fatal("schema bump did not change the key")
+	}
+	if err := s.Put(oldKey, "cell/v1", payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if s.Get(newKey, "cell/v2", &out) {
+		t.Fatal("v2 key hit a v1 entry")
+	}
+	// Same key, different schema in the envelope: fail closed as a miss.
+	if s.Get(oldKey, "cell/v2", &out) {
+		t.Fatal("schema-skewed entry decoded as a hit")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("schema skew not counted as corrupt: %+v", st)
+	}
+}
+
+// TestCorruptedEntryFallsBackToMiss: any damaged entry — truncated,
+// bit-flipped payload, or garbage — is a miss, never an error, and a
+// fresh Put repairs it.
+func TestCorruptedEntryFallsBackToMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	in := payload{Name: "LFUCache", Count: 7}
+	key := mustKey(t, schema, 1234)
+	if err := s.Put(key, schema, in); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".json")
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip":    func(b []byte) []byte { c := append([]byte{}, b...); c[len(c)/2] ^= 0x40; return c },
+		"not-json":    func([]byte) []byte { return []byte("not json at all") },
+		"wrong-shape": func([]byte) []byte { return []byte(`{"schema":"` + schema + `","digest":"x","payload":[1,2]}`) },
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, corrupt(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			before := s.Stats()
+			var out payload
+			if s.Get(key, schema, &out) {
+				t.Fatal("corrupted entry returned a hit")
+			}
+			after := s.Stats()
+			if after.Corrupt != before.Corrupt+1 || after.Misses != before.Misses+1 {
+				t.Fatalf("corruption not counted: before %+v after %+v", before, after)
+			}
+			// The cell re-runs live and overwrites: store must recover.
+			if err := s.Put(key, schema, in); err != nil {
+				t.Fatal(err)
+			}
+			if !s.Get(key, schema, &out) || out != in {
+				t.Fatalf("store did not recover after overwrite: %+v", out)
+			}
+		})
+	}
+}
+
+// TestEvictionDropsOldest: past the entry bound, Put evicts the
+// oldest-modified entries first.
+func TestEvictionDropsOldest(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.SetMaxEntries(3)
+	keys := make([]string, 5)
+	base := time.Now().Add(-time.Hour)
+	for i := range keys {
+		keys[i] = mustKey(t, schema, i)
+		if err := s.Put(keys[i], schema, payload{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes: filesystem timestamp granularity would
+		// otherwise tie every entry written in the same instant.
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, keys[i][:2], keys[i]+".json"), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("len = %d after eviction, want 3", got)
+	}
+	var out payload
+	for i, key := range keys {
+		hit := s.Get(key, schema, &out)
+		wantHit := i >= 2 // 0 and 1 are the oldest two of the five
+		if hit != wantHit {
+			t.Errorf("entry %d: hit=%v, want %v", i, hit, wantHit)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions counted: %+v", st)
+	}
+}
+
+func TestClearKeepsRoot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	key := mustKey(t, schema, "x")
+	if err := s.Put(key, schema, payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("len = %d after clear", s.Len())
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("clear removed the store root: %v", err)
+	}
+	// The store stays usable.
+	if err := s.Put(key, schema, payload{Count: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if !s.Get(key, schema, &out) || out.Count != 9 {
+		t.Fatal("store unusable after clear")
+	}
+}
+
+// TestNilStoreAlwaysMisses: the nil store is the caching-off mode; every
+// operation is a cheap no-op.
+func TestNilStoreAlwaysMisses(t *testing.T) {
+	var s *Store
+	var out payload
+	if s.Get("abcd", schema, &out) {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("abcd", schema, payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Dir() != "" {
+		t.Fatal("nil store has contents")
+	}
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+// TestKeyCanonical: equal configurations always produce equal keys; any
+// changed field or schema produces a different one.
+func TestKeyCanonical(t *testing.T) {
+	type cfg struct {
+		Workload string `json:"workload"`
+		Threads  int    `json:"threads"`
+	}
+	a := mustKey(t, schema, cfg{"RBTree", 8})
+	b := mustKey(t, schema, cfg{"RBTree", 8})
+	if a != b {
+		t.Fatal("equal configs produced different keys")
+	}
+	if c := mustKey(t, schema, cfg{"RBTree", 16}); c == a {
+		t.Fatal("changed field kept the key")
+	}
+	if c := mustKey(t, schema+"x", cfg{"RBTree", 8}); c == a {
+		t.Fatal("changed schema kept the key")
+	}
+	if _, err := Key(schema, func() {}); err == nil {
+		t.Fatal("unencodable config produced a key")
+	}
+}

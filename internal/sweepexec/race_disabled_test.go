@@ -1,0 +1,5 @@
+//go:build !race
+
+package sweepexec_test
+
+const raceEnabled = false

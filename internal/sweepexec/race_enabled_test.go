@@ -1,0 +1,9 @@
+//go:build race
+
+package sweepexec_test
+
+// raceEnabled mirrors the -race build flag so the identity matrix — pure
+// byte comparison, ~6x slower under the detector, and already covered for
+// data races by the pool tests in sweepexec_test.go — can skip itself in
+// race builds.
+const raceEnabled = true
