@@ -104,6 +104,58 @@ func TestFigureWarmCacheIsPureReplay(t *testing.T) {
 	}
 }
 
+// TestFigureParallelSharedCacheIdentity: -parallel combined with -cache —
+// every worker goroutine Getting and Putting one shared store — must be
+// byte-identical to the serial cached run, cold (concurrent Puts plus
+// evict) and warm (concurrent Gets), and the warm parallel sweep must
+// execute zero simulations. Running under -race in the CI test job, this
+// is also the store's concurrency regression test in situ: the exact
+// flag combination paperbench supports.
+func TestFigureParallelSharedCacheIdentity(t *testing.T) {
+	f, _ := workloads.ByName("HashTable")
+	systems := []SystemName{FlexTMEager, RSTM}
+	ref := cachedSweep(t, t.TempDir())
+	refPlot, err := sweep(ref, f, systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := json.Marshal(refPlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		sc := cachedSweep(t, t.TempDir())
+		sc.Parallel = w
+		cold, err := sweep(sc, f, systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldStats := sc.Cache.Stats()
+		if coldStats.Puts == 0 {
+			t.Fatalf("parallel=%d cold sweep put nothing: %+v", w, coldStats)
+		}
+		warm, err := sweep(sc, f, systems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmStats := sc.Cache.Stats()
+		cb, _ := json.Marshal(cold)
+		wb, _ := json.Marshal(warm)
+		if !bytes.Equal(cb, refBytes) {
+			t.Errorf("parallel=%d cold cached plot differs from the serial cached plot", w)
+		}
+		if !bytes.Equal(wb, refBytes) {
+			t.Errorf("parallel=%d warm cached plot differs from the serial cached plot", w)
+		}
+		if warmStats.Misses != coldStats.Misses || warmStats.Puts != coldStats.Puts {
+			t.Errorf("parallel=%d warm sweep simulated: cold %+v, warm %+v", w, coldStats, warmStats)
+		}
+		if warmStats.Hits == 0 {
+			t.Errorf("parallel=%d warm sweep hit nothing", w)
+		}
+	}
+}
+
 // TestRunCellCorruptedEntryRerunsLive: a damaged cache entry silently
 // falls back to a live simulation with the correct result.
 func TestRunCellCorruptedEntryRerunsLive(t *testing.T) {

@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,12 +34,23 @@ import (
 const DefaultMaxEntries = 8192
 
 // Store is an on-disk content-addressed cache. The zero value and the nil
-// pointer are valid always-miss stores.
+// pointer are valid always-miss stores. All methods are safe for
+// concurrent use: a parallel sweep (`-parallel` + `-cache`) shares one
+// Store across every worker goroutine.
 type Store struct {
 	dir        string
-	maxEntries int
+	maxEntries atomic.Int64
 
-	hits, misses, puts, evictions, corrupt uint64
+	hits, misses, puts, evictions, corrupt atomic.Uint64
+
+	// count approximates the number of live entries: seeded by a walk at
+	// Open, incremented per Put (overwrites drift it upward), and
+	// re-synchronized by every eviction pass. Only the eviction threshold
+	// reads it, so drift costs at most an early pass, never a missed
+	// bound — and Put stays O(1) instead of walking the store each time.
+	count atomic.Int64
+	// evictMu serializes the full list/sort/remove eviction pass.
+	evictMu sync.Mutex
 }
 
 // Stats is a point-in-time counter snapshot.
@@ -56,12 +69,19 @@ func (s Stats) String() string {
 		s.Hits, s.Misses, s.Corrupt, s.Puts, s.Evictions)
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a store rooted at dir. The one-time
+// entry walk seeds the eviction count, so a reopened store still evicts
+// on the first Put past the bound.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellcache: %w", err)
 	}
-	return &Store{dir: dir, maxEntries: DefaultMaxEntries}, nil
+	s := &Store{dir: dir}
+	s.maxEntries.Store(DefaultMaxEntries)
+	if entries, err := s.list(); err == nil {
+		s.count.Store(int64(len(entries)))
+	}
+	return s, nil
 }
 
 // SetMaxEntries overrides the eviction bound (<= 0 restores the default).
@@ -69,7 +89,15 @@ func (s *Store) SetMaxEntries(n int) {
 	if n <= 0 {
 		n = DefaultMaxEntries
 	}
-	s.maxEntries = n
+	s.maxEntries.Store(int64(n))
+}
+
+// max reads the eviction bound (zero-value Stores fall to the default).
+func (s *Store) max() int64 {
+	if m := s.maxEntries.Load(); m > 0 {
+		return m
+	}
+	return DefaultMaxEntries
 }
 
 // Key derives the content address for one cell: the hex sha256 of the
@@ -113,26 +141,26 @@ func (s *Store) Get(key, schema string, value any) bool {
 	}
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
-		s.misses++
+		s.misses.Add(1)
 		return false
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		s.corrupt++
-		s.misses++
+		s.corrupt.Add(1)
+		s.misses.Add(1)
 		return false
 	}
 	if env.Schema != schema || env.Digest != payloadDigest(env.Payload) {
-		s.corrupt++
-		s.misses++
+		s.corrupt.Add(1)
+		s.misses.Add(1)
 		return false
 	}
 	if err := json.Unmarshal(env.Payload, value); err != nil {
-		s.corrupt++
-		s.misses++
+		s.corrupt.Add(1)
+		s.misses.Add(1)
 		return false
 	}
-	s.hits++
+	s.hits.Add(1)
 	return true
 }
 
@@ -165,20 +193,26 @@ func (s *Store) Put(key, schema string, value any) error {
 		os.Remove(tmp)
 		return fmt.Errorf("cellcache: put: %w", err)
 	}
-	s.puts++
-	return s.evict()
+	s.puts.Add(1)
+	if s.count.Add(1) > s.max() {
+		return s.evict()
+	}
+	return nil
 }
 
-// evict trims the store to maxEntries, oldest-modified first.
+// evict trims the store to maxEntries, oldest-modified first. One pass
+// runs at a time: concurrent Puts that trip the threshold queue behind
+// evictMu, find the store already trimmed, and return without removing
+// anything.
 func (s *Store) evict() error {
-	max := s.maxEntries
-	if max <= 0 {
-		max = DefaultMaxEntries
-	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	max := int(s.max())
 	entries, err := s.list()
 	if err != nil {
 		return err
 	}
+	s.count.Store(int64(len(entries)))
 	if len(entries) <= max {
 		return nil
 	}
@@ -193,7 +227,8 @@ func (s *Store) evict() error {
 		if err := os.Remove(e.path); err != nil && firstErr == nil {
 			firstErr = err
 		} else if err == nil {
-			s.evictions++
+			s.evictions.Add(1)
+			s.count.Add(-1)
 		}
 	}
 	return firstErr
@@ -253,6 +288,8 @@ func (s *Store) Clear() error {
 	if s == nil || s.dir == "" {
 		return nil
 	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
 	shards, err := os.ReadDir(s.dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
@@ -265,6 +302,7 @@ func (s *Store) Clear() error {
 			return fmt.Errorf("cellcache: clear: %w", err)
 		}
 	}
+	s.count.Store(0)
 	return nil
 }
 
@@ -273,7 +311,13 @@ func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{Hits: s.hits, Misses: s.misses, Puts: s.puts, Evictions: s.evictions, Corrupt: s.corrupt}
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		Evictions: s.evictions.Load(),
+		Corrupt:   s.corrupt.Load(),
+	}
 }
 
 // Dir reports the store root ("" for a nil store).

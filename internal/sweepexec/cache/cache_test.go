@@ -3,6 +3,7 @@ package cache
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -162,6 +163,95 @@ func TestEvictionDropsOldest(t *testing.T) {
 	}
 	if st := s.Stats(); st.Evictions == 0 {
 		t.Fatalf("no evictions counted: %+v", st)
+	}
+}
+
+// TestStoreConcurrentPutsAndGets: one Store is shared by every sweep
+// worker when -parallel combines with -cache, so Get/Put — and the
+// eviction passes concurrent Puts trip — must be safe from many
+// goroutines at once. Run under -race (the CI test job), this pins the
+// store's thread-safety contract; the counter sums pin that no update
+// was lost.
+func TestStoreConcurrentPutsAndGets(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		perW    = 40
+		bound   = 32
+	)
+	s.SetMaxEntries(bound)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k, err := Key(schema, [2]int{g, i})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var out payload
+				s.Get(k, schema, &out)
+				if err := s.Put(k, schema, payload{Name: "cell", Count: g*perW + i}); err != nil {
+					t.Error(err)
+					return
+				}
+				s.Get(k, schema, &out)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Puts != workers*perW {
+		t.Fatalf("puts = %d, want %d: %+v", st.Puts, workers*perW, st)
+	}
+	// Every Get bumps exactly one of hits/misses, whatever the interleaving
+	// with concurrent evictions.
+	if got := st.Hits + st.Misses; got != 2*workers*perW {
+		t.Fatalf("hits+misses = %d, want %d: %+v", got, 2*workers*perW, st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-entry bound after %d puts: %+v", bound, workers*perW, st)
+	}
+	// The count is approximate under concurrency (a racing Put can land
+	// just after a pass lists the store), so the bound holds to within one
+	// straggler per worker.
+	if got := s.Len(); got > bound+workers {
+		t.Fatalf("len = %d, eviction never enforced the %d-entry bound", got, bound)
+	}
+}
+
+// TestReopenSeedsEvictionCount: a store reopened over an existing
+// directory knows how many entries it already holds, so the first Put
+// past the bound still triggers eviction.
+func TestReopenSeedsEvictionCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(mustKey(t, schema, i), schema, payload{Count: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetMaxEntries(3)
+	if err := s2.Put(mustKey(t, schema, 99), schema, payload{Count: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("len = %d after the reopened store's first over-bound put, want 3", got)
+	}
+	if st := s2.Stats(); st.Evictions == 0 {
+		t.Fatalf("reopened store never evicted: %+v", st)
 	}
 }
 

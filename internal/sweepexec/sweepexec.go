@@ -210,7 +210,11 @@ func mapParallel[T any](e Exec, n int, fn func(int) (T, error), emit func(int, T
 	switch {
 	case firstErr != nil:
 		return firstErr
-	case stoppedEarly || e.stopped():
+	case stoppedEarly:
+		// ErrStopped only when a cell actually went unrun: a Stop that
+		// closes after the last cell was emitted is a complete sweep,
+		// exactly as the serial loop (which polls only before running a
+		// cell) would report it.
 		return ErrStopped
 	}
 	return nil

@@ -147,6 +147,34 @@ func TestMapStopMidSweep(t *testing.T) {
 	}
 }
 
+// TestMapStopAtCompletion: a Stop that closes only as the final cell is
+// emitted reports a complete sweep (nil), not ErrStopped — matching the
+// serial loop, which polls the channel only before running a cell. This
+// is the SIGINT-lands-as-the-sweep-finishes path: paperbench must not
+// label a complete bench artifact as partial and exit 130.
+func TestMapStopAtCompletion(t *testing.T) {
+	const n = 50
+	for _, w := range []int{1, 4} {
+		stop := make(chan struct{})
+		emitted := 0
+		err := Map(Exec{Workers: w, Stop: stop}, n,
+			func(i int) (int, error) { return i, nil },
+			func(i, v int) error {
+				emitted++
+				if i == n-1 {
+					close(stop)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v for a completed sweep", w, err)
+		}
+		if emitted != n {
+			t.Fatalf("workers=%d: emitted %d of %d cells", w, emitted, n)
+		}
+	}
+}
+
 // TestMapStopBeforeStart: an already-closed Stop runs nothing.
 func TestMapStopBeforeStart(t *testing.T) {
 	stop := make(chan struct{})
