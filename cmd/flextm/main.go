@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"flextm/internal/core"
 	"flextm/internal/fault"
 	"flextm/internal/flight"
+	"flextm/internal/flightql"
 	"flextm/internal/governor"
 	"flextm/internal/harness"
 	"flextm/internal/observatory"
@@ -87,6 +89,9 @@ func main() {
 	govern := flag.Bool("govern", false, "attach the closed-loop resilience governor (FlexTM systems; with -livelock the probe must self-heal)")
 	governLadder := flag.String("govern-ladder", "", "governor mitigation ladder spec, e.g. 'cm:Polka,backoff:3,admit:auto,sig:4,serialize' (default: built-in ladder)")
 	governLog := flag.String("govern-log", "", "write the governor transition log to FILE after the run")
+	var queryExprs queryList
+	flag.Var(&queryExprs, "query", "FlightQL query over the run's flight records (repeatable), e.g. 'filter kind == cm-stall | group by line agg sum(dur) | top 5 by sum(dur)'; implies the flight recorder")
+	queryOut := flag.String("query-out", "", "write all -query results as one canonical JSON document to FILE (byte-stable per seed)")
 	flag.Parse()
 	if *profileDOT != "" || *profileJSON != "" {
 		*profile = true
@@ -95,6 +100,13 @@ func main() {
 		*causalOn = true
 	}
 	causalCfg := causalArtifacts{on: *causalOn, jsonPath: *causalJSON, dotPath: *causalDOT}
+	// Parse every query up front: a typo should fail before a long run, not
+	// after it.
+	queryCfg, err := newQueryConfig(queryExprs, *queryOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, f := range workloads.All() {
@@ -214,9 +226,9 @@ func main() {
 
 	if *livelock {
 		if gov != nil {
-			runGovernedLivelock(*seed, gov, pump, watchDone, *governLog, causalCfg)
+			runGovernedLivelock(*seed, gov, pump, watchDone, *governLog, causalCfg, queryCfg)
 		} else {
-			runLivelock(*seed, pump, watchDone, causalCfg)
+			runLivelock(*seed, pump, watchDone, causalCfg, queryCfg)
 		}
 		lingerPhase()
 		return
@@ -294,7 +306,7 @@ func main() {
 		Verify:       *verify,
 		Tracer:       rec,
 		Metrics:      *metrics,
-		Flight:       *profile || *causalOn,
+		Flight:       *profile || *causalOn || queryCfg.on(),
 		Faults:       faultCfg,
 		Oracle:       *oracleOn,
 		Observe:      pump,
@@ -369,6 +381,9 @@ func main() {
 	if *causalOn {
 		emitCausal(causalCfg, res.Flight.Snapshot(), machine.Cores)
 	}
+	if queryCfg.on() {
+		queryCfg.emit(res.Flight.Snapshot(), machine.Cores)
+	}
 	if gov != nil {
 		printGovernor(gov)
 		if err := writeGovLog(*governLog, gov); err != nil {
@@ -404,7 +419,7 @@ func waitWatch(done chan struct{}) {
 // runLivelock runs the dueling-livelock probe under the observation plane:
 // the classic demonstration that the watch mode flags an abort cycle while
 // the duel is still running, before the watchdog trips.
-func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}, causalCfg causalArtifacts) {
+func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}, causalCfg causalArtifacts, queryCfg queryConfig) {
 	rep, out, err := harness.ObservedLivelockProbe(seed, pump)
 	waitWatch(watchDone)
 	if err != nil {
@@ -415,6 +430,9 @@ func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}, c
 		out.Commits, out.Aborts, out.Escalations, out.Dumped)
 	rep.Print(os.Stdout)
 	emitCausal(causalCfg, out.Recs, 0)
+	if queryCfg.on() {
+		queryCfg.emit(out.Recs, 0)
+	}
 	if !rep.Has(conflictgraph.AbortCycle) {
 		fmt.Fprintln(os.Stderr, "flextm: livelock probe did not produce an abort cycle")
 		os.Exit(1)
@@ -424,7 +442,7 @@ func runLivelock(seed uint64, pump *observatory.Pump, watchDone chan struct{}, c
 // runGovernedLivelock runs the same duel under the resilience governor with
 // a loosened watchdog: the ladder, not the watchdog, must break the cycle,
 // and by run end every rung must have unwound. Either failing exits 1.
-func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.Pump, watchDone chan struct{}, logPath string, causalCfg causalArtifacts) {
+func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.Pump, watchDone chan struct{}, logPath string, causalCfg causalArtifacts, queryCfg queryConfig) {
 	rep, out, err := harness.GovernedLivelockProbe(seed, gov, pump)
 	waitWatch(watchDone)
 	if err != nil {
@@ -440,6 +458,9 @@ func runGovernedLivelock(seed uint64, gov *governor.Governor, pump *observatory.
 	}
 	rep.Print(os.Stdout)
 	emitCausal(causalCfg, out.Recs, 0)
+	if queryCfg.on() {
+		queryCfg.emit(out.Recs, 0)
+	}
 	if out.Trips > 0 {
 		fmt.Fprintf(os.Stderr, "flextm: watchdog tripped %d times; the ladder should have resolved the duel\n", out.Trips)
 		os.Exit(1)
@@ -560,6 +581,78 @@ func writeReportJSON(path string, rep *conflictgraph.Report) error {
 		return err
 	}
 	return out.Close()
+}
+
+// queryList collects repeated -query flags.
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+// queryConfig carries the parsed -query set to whichever run path ends up
+// owning the flight records.
+type queryConfig struct {
+	exprs   []string
+	parsed  []*flightql.Query
+	outPath string
+}
+
+// newQueryConfig parses every -query expression up front.
+func newQueryConfig(exprs []string, outPath string) (queryConfig, error) {
+	if outPath != "" && len(exprs) == 0 {
+		return queryConfig{}, fmt.Errorf("-query-out needs at least one -query")
+	}
+	cfg := queryConfig{exprs: exprs, outPath: outPath}
+	for _, src := range exprs {
+		q, err := flightql.Parse(src)
+		if err != nil {
+			return queryConfig{}, err
+		}
+		cfg.parsed = append(cfg.parsed, q)
+	}
+	return cfg, nil
+}
+
+func (c queryConfig) on() bool { return len(c.parsed) > 0 }
+
+// emit runs the query set over the run's flight records, prints each result
+// as a table, and — with -query-out — writes all results as one canonical
+// JSON document (byte-stable per seed; the CI golden file). cores may be 0:
+// replay then sizes the machine from the records.
+func (c queryConfig) emit(recs []flight.Rec, cores int) {
+	env := flightql.Env{Cores: cores}
+	results := make([]flightql.QueryResult, 0, len(c.parsed))
+	for i, q := range c.parsed {
+		res, err := q.RunEnv(recs, env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flextm: query %q: %v\n", c.exprs[i], err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- query: %s --\n", c.exprs[i])
+		res.WriteTable(os.Stdout)
+		results = append(results, flightql.QueryResult{Query: c.exprs[i], Result: res})
+	}
+	if c.outPath == "" {
+		return
+	}
+	out, err := os.Create(c.outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	if err := flightql.WriteResultsJSON(out, results); err != nil {
+		out.Close()
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	if err := out.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "flextm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("queries     %d results -> %s\n", len(results), c.outPath)
 }
 
 // causalArtifacts carries the -causal flag family to whichever run path

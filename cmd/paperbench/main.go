@@ -346,6 +346,9 @@ func writeReport(sc harness.SweepConfig, path, baselinePath string, bench *bench
 		System: harness.FlexTMLazy, Workload: f, Threads: threads,
 		OpsPerThread: sc.Ops, Machine: sc.Machine, Verify: sc.Verify,
 		Observe: pump,
+		// Flight on with deep rings: the report's FlightQL drill-down
+		// appendix queries the complete end-of-run stream.
+		Flight: true, FlightPerCore: 1 << 17,
 	})
 	if err != nil {
 		fatal(err)
@@ -360,6 +363,9 @@ func writeReport(sc harness.SweepConfig, path, baselinePath string, bench *bench
 	}
 	if fin := pump.Final(); fin != nil {
 		d.Meta = fin.Meta
+	}
+	if res.Flight != nil {
+		d.FlightRecs = res.Flight.Snapshot()
 	}
 	if bench != nil {
 		d.Bench = bench

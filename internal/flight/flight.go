@@ -130,6 +130,11 @@ type Recorder struct {
 	written []uint64 // total records ever written per core
 	lost    []uint64 // highest Seq overwritten by wrap-around, per core
 	seq     uint64
+	// restoredLost counts records that were already gone (overwritten
+	// before the source snapshot) when this recorder was rebuilt by
+	// Restore; Overwritten folds it in so a restored recorder reports the
+	// same loss the live one did.
+	restoredLost uint64
 }
 
 // DefaultPerCore is the default ring capacity per core: deep enough to hold
@@ -199,11 +204,13 @@ func (r *Recorder) Written() uint64 {
 
 // Overwritten returns how many records have been lost to ring wrap-around;
 // a non-zero value means Snapshot covers only the most recent interval.
+// For a recorder rebuilt by Restore, the count includes the records the
+// original recorder had already lost before its snapshot was taken.
 func (r *Recorder) Overwritten() uint64 {
 	if r == nil {
 		return 0
 	}
-	var t uint64
+	t := r.restoredLost
 	for i, n := range r.written {
 		if size := uint64(len(r.rings[i])); n > size {
 			t += n - size
@@ -264,17 +271,25 @@ func (r *Recorder) SnapshotSince(seq uint64) (out []Rec, gap bool) {
 // having run it — the sweep cell cache's rehydration path. The restored
 // recorder's Snapshot returns exactly the given records; records lost to
 // ring wrap-around before the original snapshot are gone for good, which
-// is also what a live recorder would report. Records naming a core outside
-// [0, cores) are dropped rather than trusted — the input may come from
-// disk.
+// is also what a live recorder would report. The loss itself is preserved,
+// not dropped: sequence numbers are globally contiguous from 1, so any
+// hole up to the highest Seq is a record the original recorder overwrote.
+// The restored recorder counts the holes in Overwritten and seeds its gap
+// watermarks with the highest missing Seq, so SnapshotSince reports a gap
+// for exactly the cursors the live recorder would have flagged. Records
+// naming a core outside [0, cores) are dropped rather than trusted — the
+// input may come from disk.
 func Restore(cores int, recs []Rec) *Recorder {
 	counts := make([]uint64, cores)
-	var maxSeq uint64
+	var maxSeq, valid uint64
+	seen := make(map[uint64]bool, len(recs))
 	for _, rec := range recs {
 		if int(rec.Core) < 0 || int(rec.Core) >= cores {
 			continue
 		}
 		counts[rec.Core]++
+		valid++
+		seen[rec.Seq] = true
 		if rec.Seq > maxSeq {
 			maxSeq = rec.Seq
 		}
@@ -284,6 +299,23 @@ func Restore(cores int, recs []Rec) *Recorder {
 		written: make([]uint64, cores),
 		lost:    make([]uint64, cores),
 		seq:     maxSeq,
+	}
+	if maxSeq > valid {
+		r.restoredLost = maxSeq - valid
+		// A lost record's core died with it, so the per-core watermarks
+		// cannot be reconstructed exactly; what SnapshotSince needs is the
+		// global property "some record with Seq > cursor is gone", which
+		// holds for precisely the cursors below the highest missing Seq.
+		var lost uint64
+		for s := maxSeq; s >= 1; s-- {
+			if !seen[s] {
+				lost = s
+				break
+			}
+		}
+		for i := range r.lost {
+			r.lost[i] = lost
+		}
 	}
 	for i := range r.rings {
 		n := counts[i]
@@ -314,4 +346,5 @@ func (r *Recorder) Reset() {
 		r.lost[i] = 0
 	}
 	r.seq = 0
+	r.restoredLost = 0
 }

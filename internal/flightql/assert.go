@@ -1,0 +1,33 @@
+package flightql
+
+import "flextm/internal/flight"
+
+// TB is the subset of testing.TB that Assert needs; an interface so this
+// package does not import testing into non-test binaries.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Assert runs a query whose final stage is `expect` against a record stream
+// and fails the test when the expectation does not hold. It lets harness
+// and acceptance tests state invariants as queries instead of hand-rolled
+// record walks:
+//
+//	flightql.Assert(t, out.Recs, "filter kind == watchdog-trip | expect count == 0")
+func Assert(t TB, recs []flight.Rec, query string) {
+	t.Helper()
+	res, err := Run(query, recs)
+	if err != nil {
+		t.Fatalf("flightql.Assert: %v\n  query: %s", err, query)
+		return
+	}
+	if res.Assert == nil {
+		t.Fatalf("flightql.Assert: query has no expect stage: %s", query)
+		return
+	}
+	if !res.Assert.Pass {
+		t.Fatalf("flightql.Assert failed: expect %s, got %g\n  query: %s",
+			res.Assert.Expr, res.Assert.Got, query)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"flextm/internal/benchfmt"
 	"flextm/internal/causal"
 	"flextm/internal/conflictgraph"
+	"flextm/internal/flight"
+	"flextm/internal/flightql"
 	"flextm/internal/telemetry"
 )
 
@@ -40,6 +42,10 @@ type ReportData struct {
 	// BaselineLabel names the baseline file.
 	Compare       *benchfmt.CompareResult
 	BaselineLabel string
+	// FlightRecs, when non-empty, is the run's end-of-run flight stream;
+	// the report appends a FlightQL drill-down appendix executed over it,
+	// each canned query shown with its copy-pasteable source.
+	FlightRecs []flight.Rec
 	// Command reproduces the report.
 	Command string
 }
@@ -70,9 +76,54 @@ func WriteHTMLReport(w io.Writer, d ReportData) error {
 		v.Intervals = buildIntervalRows(d.Frames)
 	}
 	if d.Compare != nil {
-		v.Compare = buildCompare(*d.Compare, d.BaselineLabel)
+		var notes map[string]string
+		if d.Bench != nil {
+			notes = d.Bench.Notes
+		}
+		v.Compare = buildCompare(*d.Compare, d.BaselineLabel, notes)
+	}
+	if len(d.FlightRecs) > 0 && f != nil {
+		v.Queries = buildQueries(d.FlightRecs, d.Meta.Cores, uint64(f.End))
 	}
 	return reportTmpl.Execute(w, v)
+}
+
+// buildQueries executes the drill-down appendix: a canned FlightQL set that
+// answers the questions a reader of the charts asks next — which lines the
+// contention lives on, who killed whom, and what the reconstructed machine
+// state looked like at the end of the run. Each entry carries its query
+// source so the reader can re-run or refine it with `flextm -query`.
+func buildQueries(recs []flight.Rec, cores int, end uint64) []queryRow {
+	canned := []struct{ title, q string }{
+		{"Event mix", "group by kind"},
+		{"Conflict hot lines", "filter kind == cst-set | group by line agg count | top 5 by count"},
+		{"Stall cost by line", "filter kind == cm-stall | group by line agg count, sum(dur), max(dur) | top 5 by sum(dur)"},
+		{"Kills by killer core", "filter kind == abort-enemy | group by core agg count"},
+		{"Reconstructed cores at end of run", fmt.Sprintf("at cycle %d show cores", end)},
+		{"Multi-writer lines at end of run", fmt.Sprintf("at cycle %d show lines where writers > 1", end)},
+	}
+	env := flightql.Env{Cores: cores}
+	out := make([]queryRow, 0, len(canned))
+	for _, c := range canned {
+		row := queryRow{Title: c.title, Query: c.q}
+		q, err := flightql.Parse(c.q)
+		if err != nil {
+			row.Table = fmt.Sprintf("query error: %v", err)
+			out = append(out, row)
+			continue
+		}
+		res, err := q.RunEnv(recs, env)
+		if err != nil {
+			row.Table = fmt.Sprintf("query error: %v", err)
+			out = append(out, row)
+			continue
+		}
+		var b strings.Builder
+		res.WriteTable(&b)
+		row.Table = b.String()
+		out = append(out, row)
+	}
+	return out
 }
 
 // --- view model ---
@@ -88,6 +139,7 @@ type reportView struct {
 	Totals      []totalRow
 	Intervals   []intervalRow
 	Compare     *compareView
+	Queries     []queryRow
 }
 
 type tile struct {
@@ -146,7 +198,20 @@ type compareView struct {
 	Summary     string
 	Regressions []string
 	Gaps        []string
-	Ok          bool
+	// Notes are the recorded artifact's -bench-note key=value pairs, sorted
+	// by key — the context (machine, branch, intent) a reader needs to judge
+	// whether the comparison is apples-to-apples.
+	Notes []noteRow
+	Ok    bool
+}
+
+type noteRow struct {
+	Key, Value string
+}
+
+type queryRow struct {
+	Title, Query string
+	Table        string
 }
 
 func buildTiles(f *Frame) []tile {
@@ -307,7 +372,7 @@ func buildIntervalRows(frames []*Frame) []intervalRow {
 	return out
 }
 
-func buildCompare(res benchfmt.CompareResult, baseline string) *compareView {
+func buildCompare(res benchfmt.CompareResult, baseline string, notes map[string]string) *compareView {
 	v := &compareView{Baseline: baseline, Ok: res.Ok()}
 	v.Summary = fmt.Sprintf("compared %d cells, %d new, %d improved, %d regression(s)",
 		res.Compared, len(res.NewCells), res.Improvements, len(res.Regressions))
@@ -315,6 +380,14 @@ func buildCompare(res benchfmt.CompareResult, baseline string) *compareView {
 		v.Regressions = append(v.Regressions, r.String())
 	}
 	v.Gaps = append(v.Gaps, res.MetricGaps...)
+	keys := make([]string, 0, len(notes))
+	for k := range notes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.Notes = append(v.Notes, noteRow{Key: k, Value: notes[k]})
+	}
 	return v
 }
 
@@ -527,6 +600,7 @@ details { margin-top: 8px; }
 summary { cursor: pointer; font-size: 13px; color: var(--text-secondary); }
 code { font-size: 12px; background: var(--surface-1); border: 1px solid var(--border); border-radius: 4px; padding: 1px 5px; }
 .hover-dot:hover { fill: var(--text-primary); fill-opacity: 0.25; }
+pre.query-out { font-size: 12px; overflow-x: auto; background: var(--page); border: 1px solid var(--border); border-radius: 6px; padding: 8px 10px; }
 </style>
 </head>
 <body>
@@ -574,8 +648,21 @@ code { font-size: 12px; background: var(--surface-1); border: 1px solid var(--bo
 <h2>BENCH comparison vs {{.Baseline}}</h2>
 <div class="card">
 <p class="sub">{{if .Ok}}<span class="status status-good">ok</span>{{else}}<span class="status status-critical">regressions</span>{{end}}{{.Summary}}</p>
+{{if .Notes}}<table><tr><th>note</th><th>value</th></tr>{{range .Notes}}<tr><td>{{.Key}}</td><td>{{.Value}}</td></tr>{{end}}</table>{{end}}
 {{if .Regressions}}<table><tr><th>regression</th></tr>{{range .Regressions}}<tr><td>{{.}}</td></tr>{{end}}</table>{{end}}
 {{if .Gaps}}<p class="sub">metric gaps (present in only one artifact):</p><table>{{range .Gaps}}<tr><td>{{.}}</td></tr>{{end}}</table>{{end}}
+</div>
+{{end}}
+
+{{if .Queries}}
+<h2>FlightQL drill-down</h2>
+<div class="card">
+<p class="sub">Canned queries over the run's flight stream. Re-run or refine any of them with <code>flextm -query 'EXPR'</code> on the same seed — the simulator is deterministic, so the answers reproduce.</p>
+{{range .Queries}}
+<details><summary>{{.Title}} — <code>{{.Query}}</code></summary>
+<pre class="query-out">{{.Table}}</pre>
+</details>
+{{end}}
 </div>
 {{end}}
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flextm/internal/benchfmt"
+	"flextm/internal/flight"
 	"flextm/internal/sim"
 	"flextm/internal/telemetry"
 )
@@ -55,6 +56,63 @@ func TestHTMLReportRenders(t *testing.T) {
 	// One row per frame (5 ticks + final) in the interval table.
 	if !strings.Contains(out, "Per-interval series (6 intervals)") {
 		t.Error("interval table does not cover all 6 frames")
+	}
+}
+
+// TestHTMLReportRendersBenchNotes: -bench-note key=value pairs recorded in
+// the artifact must appear in the compare card, sorted by key — previously
+// they were stored but never rendered.
+func TestHTMLReportRendersBenchNotes(t *testing.T) {
+	d := reportFixture()
+	d.Bench.Notes = map[string]string{"machine": "ci-runner", "branch": "main"}
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"machine", "ci-runner", "branch", "main"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare card missing note content %q", want)
+		}
+	}
+	if strings.Index(out, "branch") > strings.Index(out, "machine") {
+		t.Error("notes not sorted by key")
+	}
+}
+
+// TestHTMLReportQueryDrilldown: a report fed flight records appends the
+// FlightQL appendix, with each canned query's source and rendered table.
+func TestHTMLReportQueryDrilldown(t *testing.T) {
+	d := reportFixture()
+	d.FlightRecs = []flight.Rec{
+		{At: 10, Seq: 1, Core: 0, Peer: -1, Kind: flight.TxnBegin},
+		{At: 20, Seq: 2, Core: 0, Peer: 1, Kind: flight.CMStall, Dur: 30, Line: 0x40},
+		{At: 40, Seq: 3, Core: 0, Peer: -1, Kind: flight.TxnCommit},
+	}
+	var buf strings.Builder
+	if err := WriteHTMLReport(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"FlightQL drill-down",
+		"group by kind",
+		"filter kind == cm-stall",
+		"show cores",
+		"flextm -query",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drill-down missing %q", want)
+		}
+	}
+	// Without records the section is absent.
+	d.FlightRecs = nil
+	buf.Reset()
+	if err := WriteHTMLReport(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "FlightQL drill-down") {
+		t.Error("drill-down rendered without flight records")
 	}
 }
 

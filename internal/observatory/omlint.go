@@ -44,6 +44,9 @@ type Family struct {
 	Type    string
 	Help    string
 	Samples []Sample
+	// typeSet/helpSet record that the metadata line was seen, so a second
+	// one for the same family is rejected instead of silently overwriting.
+	typeSet, helpSet bool
 }
 
 // Exposition is a parsed OpenMetrics text exposition.
@@ -148,8 +151,16 @@ func ParseExposition(r io.Reader) (*Exposition, error) {
 				if len(fam.Samples) > 0 {
 					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
 				}
+				if fam.typeSet {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				fam.typeSet = true
 				fam.Type = rest
 			case "HELP":
+				if fam.helpSet {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				fam.helpSet = true
 				fam.Help = rest
 			}
 			cur = fam

@@ -242,6 +242,8 @@ func TestParserRejectsMalformedExpositions(t *testing.T) {
 		"non-monotone buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
 			"h_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 9\n# EOF\n",
 		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\nh_sum 9\n# EOF\n",
+		"duplicate TYPE":      "# TYPE g gauge\n# TYPE g gauge\ng 1\n# EOF\n",
+		"duplicate HELP":      "# HELP g one\n# TYPE g gauge\n# HELP g two\ng 1\n# EOF\n",
 	}
 	for name, in := range cases {
 		if err := CheckExposition(strings.NewReader(in)); err == nil {

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 
+	"flextm/internal/flightql"
 	"flextm/internal/telemetry"
 )
 
@@ -32,6 +33,7 @@ func NewServer(bus *Bus) *Server {
 	s.mux.HandleFunc("/snapshot.json", s.handleSnapshot)
 	s.mux.HandleFunc("/conflictgraph.dot", s.handleDOT)
 	s.mux.HandleFunc("/flight", s.handleFlight)
+	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -82,6 +84,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /snapshot.json      latest frame: totals, interval rates, pathologies")
 	fmt.Fprintln(w, "  /conflictgraph.dot  live conflict graph (Graphviz DOT)")
 	fmt.Fprintln(w, "  /flight             latest flight-record window (JSON)")
+	fmt.Fprintln(w, "  /query?q=EXPR       FlightQL over the latest flight window (canonical JSON)")
 	fmt.Fprintln(w, "  /debug/pprof/       Go runtime profiles")
 }
 
@@ -186,4 +189,39 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 		End     uint64          `json:"end"`
 		Records []flightRecJSON `json:"records"`
 	}{f.Meta, uint64(f.End), out})
+}
+
+// handleQuery runs one FlightQL query (?q=EXPR) over the latest frame's
+// flight window and returns the canonical JSON result. The window is the
+// pump's record retention, not the full run — cursor-style scoping (filter
+// at >= N) composes inside the query itself. ?format=table returns the
+// aligned text rendering instead.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" {
+		http.Error(w, `{"error":"missing ?q=EXPR"}`, http.StatusBadRequest)
+		return
+	}
+	q, err := flightql.Parse(src)
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	f := s.bus.Latest()
+	if f == nil {
+		http.Error(w, `{"error":"no frame published yet"}`, http.StatusServiceUnavailable)
+		return
+	}
+	res, err := q.RunEnv(f.Recent, flightql.Env{Cores: f.Meta.Cores})
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err.Error()), http.StatusUnprocessableEntity)
+		return
+	}
+	if r.URL.Query().Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		res.WriteTable(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	res.WriteJSON(w)
 }

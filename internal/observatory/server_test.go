@@ -113,6 +113,53 @@ func TestIndexListsEndpoints(t *testing.T) {
 	}
 }
 
+// TestQueryEndpoint: /query?q= runs FlightQL over the latest frame's flight
+// window, returning canonical JSON (or a table with ?format=table), and maps
+// the three failure modes to distinct statuses: no q (400), bad query (400
+// with the parse error), no frame yet (503).
+func TestQueryEndpoint(t *testing.T) {
+	srv, bus := serverFixture(t)
+
+	if rr := get(t, srv.Handler(), "/query"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("missing q status = %d, want 400", rr.Code)
+	}
+	if rr := get(t, srv.Handler(), "/query?q=filter+bogus+%3D%3D+1"); rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d, want 400", rr.Code)
+	}
+	if rr := get(t, srv.Handler(), "/query?q=count"); rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-frame status = %d, want 503", rr.Code)
+	}
+
+	bus.Publish(fullFrame())
+	rr := get(t, srv.Handler(), "/query?q=filter+kind+%3D%3D+commit+%7C+count")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/query status = %d: %s", rr.Code, rr.Body.String())
+	}
+	var res struct {
+		Kind  string  `json:"kind"`
+		Count *uint64 `json:"count"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &res); err != nil {
+		t.Fatalf("result is not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if res.Kind != "count" || res.Count == nil || *res.Count != 1 {
+		t.Fatalf("result = %+v, want count 1 (the fixture's one commit)", res)
+	}
+	// Replay composes over the served window too.
+	rr = get(t, srv.Handler(), "/query?q=at+cycle+1000+show+cores+where+commits+%3E+0")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"core": 0`) {
+		t.Fatalf("replay query: status %d body %s", rr.Code, rr.Body.String())
+	}
+	// Table form.
+	rr = get(t, srv.Handler(), "/query?q=group+by+kind&format=table")
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), "commit") {
+		t.Fatalf("table form: status %d body %q", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("table content type = %q", ct)
+	}
+}
+
 func TestServerStartAndClose(t *testing.T) {
 	srv, bus := serverFixture(t)
 	bus.Publish(fullFrame())

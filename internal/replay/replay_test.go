@@ -1,0 +1,187 @@
+package replay
+
+import (
+	"testing"
+
+	"flextm/internal/cst"
+	"flextm/internal/flight"
+	"flextm/internal/memory"
+	"flextm/internal/sim"
+	"flextm/internal/telemetry"
+)
+
+type stream struct {
+	recs []flight.Rec
+}
+
+func (s *stream) add(at sim.Time, core int, k flight.Kind, peer int, aux uint8, line memory.LineAddr, dur sim.Time) {
+	s.recs = append(s.recs, flight.Rec{
+		At: at, Dur: dur, Line: line, Seq: uint64(len(s.recs) + 1),
+		Core: int16(core), Peer: int16(peer), Kind: k, Aux: aux,
+	})
+}
+
+// TestFoldStatusAndCounters: a two-core exchange — begin, conflict, kill,
+// abort, backoff, retry, commit — lands on the right statuses, counts, and
+// counter mirror at several cutoffs.
+func TestFoldStatusAndCounters(t *testing.T) {
+	var s stream
+	s.add(10, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(12, 1, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(20, 0, flight.CSTSet, 1, uint8(cst.WW), 0x40, 0)
+	s.add(25, 0, flight.AbortEnemy, 1, 0, 0x40, 0)
+	s.add(30, 1, flight.TxnAbort, -1, 0, 0, 0)
+	s.add(40, 1, flight.Backoff, -1, 1, 0, 35)
+	s.add(50, 0, flight.TxnCommit, -1, 0, 0, 0)
+	s.add(60, 1, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(80, 1, flight.TxnCommit, -1, 0, 0, 0)
+
+	// Mid-run: core 0 running, core 1 aborted in its backoff window.
+	st := At(s.recs, 2, 45)
+	if got := st.Cores[0].Status; got != Running {
+		t.Fatalf("core 0 status at 45 = %v, want running", got)
+	}
+	if got := st.Cores[1].Status; got != Aborted {
+		t.Fatalf("core 1 status at 45 = %v, want aborted", got)
+	}
+	if st.Cores[1].ConsecAborts != 1 {
+		t.Fatalf("core 1 consecAborts = %d, want 1", st.Cores[1].ConsecAborts)
+	}
+	if got := st.Counter(1, telemetry.CtrCMBackoffCycles); got != 35 {
+		t.Fatalf("core 1 backoff cycles = %d, want 35", got)
+	}
+	// CSTSet mirrors onto both sides.
+	if st.Counter(0, telemetry.CtrCSTSet) != 1 || st.Counter(1, telemetry.CtrCSTSet) != 1 {
+		t.Fatalf("cst-set mirror = %d/%d, want 1/1",
+			st.Counter(0, telemetry.CtrCSTSet), st.Counter(1, telemetry.CtrCSTSet))
+	}
+
+	// Final: both idle, one commit each, consec aborts cleared.
+	fin := Final(s.recs, 2)
+	if fin.Cycle != 80 || fin.Records != len(s.recs) || fin.Seq != uint64(len(s.recs)) {
+		t.Fatalf("final fold: cycle=%d records=%d seq=%d", fin.Cycle, fin.Records, fin.Seq)
+	}
+	for c := 0; c < 2; c++ {
+		if fin.Cores[c].Status != Idle || fin.Cores[c].Commits != 1 {
+			t.Fatalf("core %d final = %+v", c, fin.Cores[c])
+		}
+	}
+	if fin.Cores[1].ConsecAborts != 0 {
+		t.Fatalf("core 1 consecAborts after commit = %d, want 0", fin.Cores[1].ConsecAborts)
+	}
+	if fin.Cores[1].Attempt != 2 {
+		t.Fatalf("core 1 attempts = %d, want 2", fin.Cores[1].Attempt)
+	}
+}
+
+// TestFoldLineState: CSTSet kinds place cores on the right sides of the
+// line, and last-writer tracks the most recent write side.
+func TestFoldLineState(t *testing.T) {
+	var s stream
+	s.add(10, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(11, 1, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(12, 2, flight.TxnBegin, -1, 0, 0, 0)
+	// Core 0 reads a line core 1 wrote (RW: requestor read / responder wrote).
+	s.add(20, 0, flight.CSTSet, 1, uint8(cst.RW), 0x80, 0)
+	// Core 2 writes the same line (WR: requestor wrote / responder read).
+	s.add(30, 2, flight.CSTSet, 0, uint8(cst.WR), 0x80, 0)
+
+	st := At(s.recs, 3, 100)
+	if len(st.Lines) != 1 {
+		t.Fatalf("lines = %+v, want one entry", st.Lines)
+	}
+	l := st.Lines[0]
+	if l.Line != 0x80 || l.Conflicts != 2 {
+		t.Fatalf("line = %+v", l)
+	}
+	if l.LastWriter != 2 {
+		t.Fatalf("lastWriter = %d, want 2", l.LastWriter)
+	}
+	wantW, wantR := []int{1, 2}, []int{0}
+	if len(l.Writers) != 2 || l.Writers[0] != wantW[0] || l.Writers[1] != wantW[1] {
+		t.Fatalf("writers = %v, want %v", l.Writers, wantW)
+	}
+	if len(l.Readers) != 1 || l.Readers[0] != wantR[0] {
+		t.Fatalf("readers = %v, want %v", l.Readers, wantR)
+	}
+	// Both CSTSet records happened inside open attempts: occupancy counts.
+	if st.Cores[0].SigLines != 1 || st.Cores[2].SigLines != 1 {
+		t.Fatalf("sigLines = %d/%d, want 1/1", st.Cores[0].SigLines, st.Cores[2].SigLines)
+	}
+	// A cutoff before the second conflict sees core 1 as last writer.
+	early := At(s.recs, 3, 25)
+	if early.Lines[0].LastWriter != 1 {
+		t.Fatalf("early lastWriter = %d, want 1", early.Lines[0].LastWriter)
+	}
+}
+
+// TestFoldGovernorAndEscalation: GovStep moves the ladder level, Escalate
+// pins serialized status until the fallback commit.
+func TestFoldGovernorAndEscalation(t *testing.T) {
+	var s stream
+	s.add(10, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(20, 0, flight.TxnAbort, -1, 0, 0, 0)
+	s.add(25, 0, flight.WatchdogTrip, -1, 1, 0, 0)
+	s.add(30, 0, flight.Escalate, -1, 0, 0, 0)
+	s.add(31, 0, flight.GovStep, 0, 1, 0, 0)
+	s.add(35, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(50, 0, flight.GovStep, 1, 2, 0, 0)
+	s.add(60, 0, flight.TxnCommit, -1, 1, 0, 0)
+	s.add(70, 0, flight.GovStep, 2, 1, 0, 0)
+
+	mid := At(s.recs, 1, 40)
+	if mid.Cores[0].Status != Serialized {
+		t.Fatalf("status mid-escalation = %v, want serialized", mid.Cores[0].Status)
+	}
+	if mid.GovLevel != 1 {
+		t.Fatalf("gov level at 40 = %d, want 1", mid.GovLevel)
+	}
+	fin := Final(s.recs, 1)
+	if fin.Cores[0].Status != Idle {
+		t.Fatalf("status after fallback commit = %v, want idle", fin.Cores[0].Status)
+	}
+	if fin.GovLevel != 1 {
+		t.Fatalf("final gov level = %d, want 1", fin.GovLevel)
+	}
+	if fin.Cores[0].Trips != 1 || fin.Cores[0].Escalations != 1 {
+		t.Fatalf("trips/escalations = %d/%d, want 1/1", fin.Cores[0].Trips, fin.Cores[0].Escalations)
+	}
+	if got := fin.Counter(0, telemetry.CtrGovStep); got != 3 {
+		t.Fatalf("gov-step mirror = %d, want 3", got)
+	}
+}
+
+// TestFoldUnsortedInput: out-of-Seq input is sorted on a copy, leaving the
+// caller's slice untouched.
+func TestFoldUnsortedInput(t *testing.T) {
+	var s stream
+	s.add(10, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(20, 0, flight.TxnCommit, -1, 0, 0, 0)
+	rev := []flight.Rec{s.recs[1], s.recs[0]}
+	st := At(rev, 1, 100)
+	if st.Cores[0].Commits != 1 || st.Cores[0].Status != Idle {
+		t.Fatalf("unsorted fold = %+v", st.Cores[0])
+	}
+	if rev[0].Seq != 2 {
+		t.Fatal("At mutated its input slice")
+	}
+}
+
+// TestVerifyTelemetryDivergence: a fabricated mismatch is reported, a
+// faithful snapshot passes.
+func TestVerifyTelemetryDivergence(t *testing.T) {
+	var s stream
+	s.add(10, 0, flight.TxnBegin, -1, 0, 0, 0)
+	s.add(20, 0, flight.TxnCommit, -1, 0, 0, 0)
+	st := Final(s.recs, 1)
+
+	reg := telemetry.New(1)
+	reg.Inc(0, telemetry.CtrTxnCommits)
+	if err := st.VerifyTelemetry(reg.Snapshot()); err != nil {
+		t.Fatalf("faithful snapshot rejected: %v", err)
+	}
+	reg.Inc(0, telemetry.CtrTxnCommits)
+	if err := st.VerifyTelemetry(reg.Snapshot()); err == nil {
+		t.Fatal("divergent snapshot accepted")
+	}
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -196,6 +197,46 @@ func TestChromeEventSchemaRoundTrip(t *testing.T) {
 	}
 	if first.String() != second.String() {
 		t.Fatalf("round trip changed the document:\n--- first\n%s--- second\n%s", first.String(), second.String())
+	}
+}
+
+// TestChromeDurationEventsRoundTrip: duration-bearing ("X" with dur) events
+// — the shape internal/causal emits for CM stalls and retry back-off folded
+// out of flight Rec.Dur — must survive encode -> decode -> encode with the
+// dur field intact. Zero-dur events must stay dur-less (omitempty), so
+// instants don't grow a spurious dur: 0 on re-encode.
+func TestChromeDurationEventsRoundTrip(t *testing.T) {
+	events := []ChromeEvent{
+		{Name: "cm-stall", Cat: "cm", Phase: "X", TS: 24, Dur: 30, PID: 1, TID: 0},
+		{Name: "backoff", Cat: "cm", Phase: "X", TS: 40, Dur: 35, PID: 1, TID: 1},
+		{Name: "decision", Cat: "cm", Phase: "i", TS: 25, PID: 1, TID: 0, Scope: "t"},
+	}
+	var first bytes.Buffer
+	if err := EncodeChrome(&first, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []ChromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first.Bytes(), &doc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	durs := map[string]float64{}
+	for _, e := range doc.TraceEvents {
+		durs[e.Name] = e.Dur
+	}
+	if durs["cm-stall"] != 30 || durs["backoff"] != 35 || durs["decision"] != 0 {
+		t.Fatalf("durations lost in transit: %+v", durs)
+	}
+	if strings.Contains(first.String(), `"name":"decision","cat":"cm","ph":"i","ts":25,"dur"`) {
+		t.Fatal("zero-dur instant grew a dur field")
+	}
+	var second bytes.Buffer
+	if err := EncodeChrome(&second, doc.TraceEvents); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("duration events not byte-stable:\n--- first\n%s--- second\n%s", first.String(), second.String())
 	}
 }
 
